@@ -1,0 +1,29 @@
+# Convenience targets for the Bootleg reproduction.
+
+.PHONY: install test bench bench-fresh examples clean-cache
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-report:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-report:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Drop all cached trained models so benches retrain from scratch.
+clean-cache:
+	rm -rf .repro_cache
+
+examples:
+	python examples/quickstart.py
+	python examples/train_custom_kb.py
+	python examples/tail_disambiguation.py
+	python examples/embedding_compression.py
+	python examples/downstream_relation_extraction.py

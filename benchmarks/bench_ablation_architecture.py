@@ -1,0 +1,57 @@
+"""Architecture ablations beyond the paper's own (DESIGN.md §5).
+
+Design choices exercised: the KG2Ent skip connection and learned
+self-loop weight, ensemble max-scoring vs scoring the final branch only,
+the mention-type-prediction auxiliary task, and the mention positional
+encoding. Each variant trains on the micro workspace; the bench reports
+All/Tail/Unseen F1 so regressions from removing a component are visible.
+"""
+
+from conftest import run_once
+
+from repro.core import BootlegConfig
+from repro.eval import f1_by_bucket
+from repro.experiments import ModelSpec
+from repro.utils.tables import format_table
+
+VARIANTS = {
+    "full": BootlegConfig(num_candidates=6),
+    "no_kg_skip": BootlegConfig(num_candidates=6, kg_use_skip=False),
+    "fixed_self_weight": BootlegConfig(num_candidates=6, kg_learn_self_weight=False),
+    "no_ensemble_score": BootlegConfig(num_candidates=6, use_ensemble_scoring=False),
+    "no_type_prediction": BootlegConfig(num_candidates=6, use_type_prediction=False),
+    "no_position_encoding": BootlegConfig(num_candidates=6, use_position_encoding=False),
+}
+
+
+def run_variants(ws):
+    rows = {}
+    for name, config in VARIANTS.items():
+        spec = ModelSpec(f"arch_{name}", bootleg_config=config)
+        predictions = ws.predictions(spec, "val")
+        rows[name] = f1_by_bucket(predictions, ws.counts)
+    return rows
+
+
+def test_architecture_ablation(benchmark, micro_ws, emit):
+    rows = run_once(benchmark, lambda: run_variants(micro_ws))
+    body = [
+        [name, values["all"], values["tail"], values["unseen"]]
+        for name, values in rows.items()
+    ]
+    emit(
+        "ablation_architecture",
+        format_table(
+            ["Variant", "All", "Tail", "Unseen"],
+            body,
+            title="Architecture ablation (micro workspace)",
+        ),
+    )
+
+    full = rows["full"]
+    # Every ablated variant must remain a working model...
+    for name, values in rows.items():
+        assert values["all"] > 40, name
+    # ...and the full model should be at least competitive overall.
+    best_all = max(values["all"] for values in rows.values())
+    assert full["all"] >= best_all - 5

@@ -1,0 +1,102 @@
+"""Section 2/5 coverage statistics.
+
+Paper claims reproduced in shape:
+
+- affordance patterns cover the large majority of examples, KG relation
+  patterns a meaningful minority, consistency the smallest share
+  (84% / 27% / 8% in the paper's footnote);
+- most mentions have type signals, a minority relation signals
+  (97% / 27%);
+- tail entities overwhelmingly carry non-tail types and relations
+  (88% / 90%, Appendix D.1) — the "distinct tails" property;
+- weak labeling grows the labeled-mention count well above 1x (1.7x in
+  the paper).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.eval.patterns import (
+    PatternSlicer,
+    mine_affordance_keywords,
+    slice_coverage,
+)
+from repro.utils.tables import format_table
+
+
+def compute_stats(ws):
+    kb, corpus = ws.world.kb, ws.corpus
+    keywords = mine_affordance_keywords(corpus, kb)
+    slicer = PatternSlicer(kb, ws.world.kg, keywords)
+    membership = slicer.build_membership(corpus.sentences("val"))
+    coverage = slice_coverage(membership, corpus.num_mentions("val"))
+
+    total, with_type, with_relation = 0, 0, 0
+    for sentence in corpus.sentences("train"):
+        for mention in sentence.mentions:
+            entity = kb.entity(mention.gold_entity_id)
+            total += 1
+            with_type += bool(entity.type_ids)
+            with_relation += bool(entity.relation_ids)
+
+    # Distinct tails: tail entities with non-tail types / relations.
+    counts = ws.counts
+    type_pop = np.zeros(kb.num_types)
+    rel_pop = np.zeros(kb.num_relations)
+    for sentence in corpus.sentences("train"):
+        for mention in sentence.mentions:
+            entity = kb.entity(mention.gold_entity_id)
+            for t in entity.type_ids:
+                type_pop[t] += 1
+            for r in entity.relation_ids:
+                rel_pop[r] += 1
+    tail_types = {t for t in range(kb.num_types) if type_pop[t] <= 10}
+    tail_rels = {r for r in range(kb.num_relations) if rel_pop[r] <= 10}
+    tail_ids = counts.bucket_ids("tail")
+    typed_tail = [e for e in tail_ids if kb.entity(int(e)).type_ids]
+    rel_tail = [e for e in tail_ids if kb.entity(int(e)).relation_ids]
+    non_tail_type = sum(
+        1
+        for e in typed_tail
+        if any(t not in tail_types for t in kb.entity(int(e)).type_ids)
+    )
+    non_tail_rel = sum(
+        1
+        for e in rel_tail
+        if any(r not in tail_rels for r in kb.entity(int(e)).relation_ids)
+    )
+    return {
+        "coverage": coverage,
+        "type_signal": with_type / total,
+        "relation_signal": with_relation / total,
+        "tail_with_nontail_type": non_tail_type / max(1, len(typed_tail)),
+        "tail_with_nontail_relation": non_tail_rel / max(1, len(rel_tail)),
+        "wl_growth": ws.weak_label_report.growth_factor,
+    }
+
+
+def test_coverage_stats(benchmark, wiki_ws, emit):
+    stats = run_once(benchmark, lambda: compute_stats(wiki_ws))
+    coverage = stats["coverage"]
+    body = [
+        ["affordance slice coverage", 100 * coverage["affordance"]],
+        ["kg-relation slice coverage", 100 * coverage["kg_relation"]],
+        ["consistency slice coverage", 100 * coverage["consistency"]],
+        ["entity (no-signal) slice coverage", 100 * coverage["entity"]],
+        ["mentions with type signal", 100 * stats["type_signal"]],
+        ["mentions with relation signal", 100 * stats["relation_signal"]],
+        ["tail entities with non-tail type", 100 * stats["tail_with_nontail_type"]],
+        ["tail entities with non-tail relation", 100 * stats["tail_with_nontail_relation"]],
+        ["weak-label mention growth (x100)", 100 * stats["wl_growth"]],
+    ]
+    emit(
+        "coverage_stats",
+        format_table(["Statistic", "%"], body, title="Section 2/5 coverage statistics"),
+    )
+
+    assert coverage["affordance"] > coverage["kg_relation"] > coverage["consistency"]
+    assert stats["type_signal"] > 0.9
+    assert 0.2 < stats["relation_signal"] <= 1.0
+    assert stats["tail_with_nontail_type"] > 0.7
+    assert stats["tail_with_nontail_relation"] > 0.7
+    assert stats["wl_growth"] > 1.1

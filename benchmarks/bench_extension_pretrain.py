@@ -1,0 +1,87 @@
+"""Extension: MLM-pretrained frozen encoder (the paper's BERT protocol).
+
+The paper freezes a *pretrained* BERT inside Bootleg (B.2) while our
+default configuration trains MiniBERT jointly. This bench implements
+the paper's protocol end to end — masked-language-model pretraining of
+MiniBERT on the training corpus, then freezing it inside Bootleg — and
+compares three encoder regimes: joint training (our default), frozen
+random, and frozen pretrained.
+
+Measured shape (and what it says about the substitution): *both* frozen
+regimes cost ~20 F1 versus joint training, and MLM pretraining does not
+close the gap — because Bootleg's trainable Phrase2Ent projections can
+extract token identity from *any* fixed distinct token features, random
+or pretrained. The benefit the paper gets from frozen BERT comes from
+transfer at a scale (3B-word pretraining) that a 2-layer MiniBERT over
+a synthetic vocabulary cannot emulate; this is exactly why the default
+configuration of this reproduction trains the encoder jointly
+(DESIGN.md's substitution table).
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.core import BootlegConfig, BootlegModel, TrainConfig, Trainer, predict
+from repro.eval import f1_by_bucket
+from repro.text import PretrainConfig, pretrain_mlm
+from repro.utils.tables import format_table
+
+
+def run_encoder_regimes(micro_ws):
+    results = {}
+    train_config = dataclasses.replace(micro_ws.config.train)
+    for regime in ("joint", "frozen_random", "frozen_pretrained"):
+        config = BootlegConfig(
+            num_candidates=micro_ws.config.num_candidates,
+            freeze_encoder=regime != "joint",
+        )
+        model = BootlegModel(
+            config,
+            micro_ws.world.kb,
+            micro_ws.vocab,
+            entity_counts=micro_ws.counts.counts,
+        )
+        if regime == "frozen_pretrained":
+            model.encoder.unfreeze()
+            pretrain_mlm(
+                model.encoder,
+                micro_ws.corpus,
+                micro_ws.vocab,
+                PretrainConfig(epochs=3, batch_size=64, learning_rate=3e-3),
+            )
+            model.encoder.freeze()
+        Trainer(model, micro_ws.dataset("train"), train_config).train()
+        predictions = predict(model, micro_ws.dataset("val"))
+        results[regime] = f1_by_bucket(predictions, micro_ws.counts)
+    return results
+
+
+def test_encoder_pretraining(benchmark, micro_ws, emit):
+    results = run_once(benchmark, lambda: run_encoder_regimes(micro_ws))
+    rows = [
+        [name, values["all"], values["tail"], values["unseen"]]
+        for name, values in results.items()
+    ]
+    emit(
+        "extension_pretrain",
+        format_table(
+            ["Encoder regime", "All", "Tail", "Unseen"],
+            rows,
+            title="Extension — encoder regimes (joint vs frozen vs pretrained+frozen)",
+        ),
+    )
+
+    joint = results["joint"]["all"]
+    random_frozen = results["frozen_random"]["all"]
+    pretrained = results["frozen_pretrained"]["all"]
+    # Joint training clearly beats any frozen encoder at this scale —
+    # the justification for the reproduction's default configuration.
+    assert joint > random_frozen + 10
+    assert joint > pretrained + 10
+    # The two frozen regimes are equivalent within noise (the trainable
+    # attention extracts token identity from either).
+    assert abs(pretrained - random_frozen) < 12
+    # Frozen models still clear the popularity-prior floor: the
+    # structural pathways remain intact.
+    assert min(pretrained, random_frozen) > 35

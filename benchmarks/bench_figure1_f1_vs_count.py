@@ -1,0 +1,26 @@
+"""Figure 1 (right) — F1 vs number of times an entity was seen in training.
+
+Paper shape: the baseline's curve collapses at low counts while Bootleg
+stays high; both converge for frequently seen entities.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure1_series, render_figure1
+
+
+def test_figure1(benchmark, wiki_ws, emit):
+    series = run_once(benchmark, lambda: figure1_series(wiki_ws))
+    emit("figure1", render_figure1(series))
+
+    populated = [row for row in series if row[3] >= 10]
+    assert len(populated) >= 3, "need populated occurrence bins"
+    # Bootleg dominates the low-occurrence bins.
+    low_bins = populated[:3]
+    for label, base_f1, boot_f1, _ in low_bins:
+        assert boot_f1 > base_f1, f"bootleg should win bin {label}"
+    # The baseline's worst low bin is far below its best high bin
+    # (the collapse), while bootleg's curve is much flatter.
+    base_curve = [row[1] for row in populated]
+    boot_curve = [row[2] for row in populated]
+    assert max(base_curve) - min(base_curve) > max(boot_curve) - min(boot_curve)

@@ -1,0 +1,26 @@
+"""Figure 3 — error vs entity-embedding compression ratio.
+
+Paper shape: keeping only the top 5% of entity embeddings costs under
+~1 F1 point overall (error curve near-flat down to 5%), and tail error
+does not blow up (the paper even observes a small tail improvement).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure3_series, render_figure3
+
+
+def test_figure3(benchmark, wiki_ws, emit):
+    rows = run_once(benchmark, lambda: figure3_series(wiki_ws))
+    emit("figure3", render_figure3(rows))
+
+    by_keep = {keep: errors for keep, errors, _ in rows}
+    full = by_keep[100.0]
+    five = by_keep[5.0]
+    # Memory shrinks proportionally.
+    mb = {keep: size for keep, _, size in rows}
+    assert mb[5.0] < 0.06 * mb[100.0] + 1e-9
+    # Near-flat overall error down to 5% kept (paper: -0.8 F1).
+    assert five["all"] - full["all"] < 6.0
+    # Tail error must not blow up.
+    assert five["tail"] - full["tail"] < 8.0

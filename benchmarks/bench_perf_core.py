@@ -1,0 +1,102 @@
+"""Microbenchmarks of the core computational paths.
+
+Unlike the table benches (which time whole-table generation once),
+these are classic pytest-benchmark timings of the hot loops: the model
+forward pass, forward+backward, KG sub-matrix extraction, candidate
+lookup, and sentence encoding. They catch performance regressions in
+the autograd substrate and the data pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BootlegConfig, BootlegModel
+from repro.corpus import (
+    CorpusConfig,
+    EntityCounts,
+    NedDataset,
+    build_vocabulary,
+    generate_corpus,
+)
+from repro.kb import WorldConfig, generate_world
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def perf_setup():
+    world = generate_world(WorldConfig(num_entities=300, seed=31))
+    corpus = generate_corpus(world, CorpusConfig(num_pages=60, seed=31))
+    vocab = build_vocabulary(corpus)
+    counts = EntityCounts.from_corpus(corpus, world.num_entities)
+    dataset = NedDataset(
+        corpus, "train", vocab, world.candidate_map, 6, kgs=[world.kg]
+    )
+    model = BootlegModel(
+        BootlegConfig(num_candidates=6, dropout=0.0),
+        world.kb,
+        vocab,
+        entity_counts=counts.counts,
+    )
+    model.eval()
+    batch = dataset.collate(dataset.encoded[:32])
+    return {
+        "world": world,
+        "corpus": corpus,
+        "vocab": vocab,
+        "dataset": dataset,
+        "model": model,
+        "batch": batch,
+    }
+
+
+def test_forward_pass(benchmark, perf_setup):
+    model, batch = perf_setup["model"], perf_setup["batch"]
+
+    def forward():
+        with no_grad():
+            return model(batch)
+
+    benchmark(forward)
+
+
+def test_forward_backward(benchmark, perf_setup):
+    model, batch = perf_setup["model"], perf_setup["batch"]
+    model.train()
+
+    def step():
+        model.zero_grad()
+        output = model(batch)
+        model.loss(batch, output).backward()
+
+    benchmark(step)
+    model.eval()
+
+
+def test_kg_submatrix_extraction(benchmark, perf_setup):
+    kg = perf_setup["world"].kg
+    rng = np.random.default_rng(0)
+    ids = rng.integers(-1, 300, size=24)
+    benchmark(lambda: kg.candidate_adjacency(ids, use_weights=True))
+
+
+def test_candidate_lookup(benchmark, perf_setup):
+    cmap = perf_setup["world"].candidate_map
+    aliases = [e.mention_stem for e in perf_setup["world"].kb.entities()][:100]
+
+    def lookup():
+        for alias in aliases:
+            cmap.get_candidates(alias, 6)
+
+    benchmark(lookup)
+
+
+def test_sentence_encoding(benchmark, perf_setup):
+    dataset = perf_setup["dataset"]
+    sentences = perf_setup["corpus"].sentences("train")[:50]
+    benchmark(lambda: [dataset._encode(s) for s in sentences])
+
+
+def test_batch_collation(benchmark, perf_setup):
+    dataset = perf_setup["dataset"]
+    items = dataset.encoded[:64]
+    benchmark(lambda: dataset.collate(items))

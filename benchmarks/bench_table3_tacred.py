@@ -1,0 +1,24 @@
+"""Tables 3, 4, 12, 13 — TACRED-style relation extraction transfer.
+
+Paper shape: adding frozen contextual Bootleg entity embeddings to a
+text-only span classifier improves test F1 (the paper's +2.3 over
+SpanBERT); the improvement concentrates on examples with more Bootleg
+signal (Table 12 gap ratios > 1) and the baseline's error rate exceeds
+the Bootleg model's on signal-present slices (Table 13 ratios > 1).
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_tacred, run_tacred_experiment
+
+
+def test_tacred(benchmark, wiki_ws, emit):
+    results = run_once(benchmark, lambda: run_tacred_experiment(wiki_ws))
+    emit("table3_tacred", render_tacred(results))
+
+    assert results.bootleg_f1 > results.baseline_f1
+    # Table 13: on every signal-present slice the baseline errs at least
+    # as often as the Bootleg-feature model.
+    for signal, (count, ratio) in results.table13.items():
+        if count >= 20:
+            assert ratio >= 0.95, f"signal {signal}: ratio {ratio}"

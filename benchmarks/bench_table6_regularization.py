@@ -1,0 +1,27 @@
+"""Table 6 — unseen-entity F1 vs the entity regularization scheme p(e).
+
+Paper shape: unseen F1 rises monotonically with fixed masking
+(0% < 20% < 50% < 80%), the inverse-popularity scheme is best, and the
+popularity-proportional scheme lands near the weak fixed settings
+(InvPop beats Pop by a wide margin).
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table6, table6_rows
+
+
+def test_table6(benchmark, micro_ws, emit):
+    rows = run_once(benchmark, lambda: table6_rows(micro_ws))
+    emit("table6", render_table6(rows))
+
+    # Robust orderings at our scale (seed-averaged, pooled val+test; the
+    # paper's per-scheme gaps are a few F1 on 2,810 unseen mentions — our
+    # slice holds ~70, so only the large-margin claims are asserted):
+    # (1) masking the entity embedding helps the unseen slice vs never
+    #     masking,
+    assert max(rows["20%"], rows["50%"], rows["80%"]) > rows["0%"]
+    # (2) the inverse-popularity scheme beats no masking,
+    assert rows["InvPop"] > rows["0%"]
+    # (3) and beats regularizing popular entities *more* (Pop).
+    assert rows["InvPop"] >= rows["Pop"]

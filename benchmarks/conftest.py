@@ -1,0 +1,63 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Heavy artifacts (worlds, corpora, trained models) are built once per
+session by the :mod:`repro.experiments` layer and cached on disk under
+``.repro_cache`` (override with the ``REPRO_CACHE_DIR`` environment
+variable), so repeated benchmark runs are fast. Each benchmark measures
+the *report generation* step with ``benchmark.pedantic(rounds=1)`` and
+writes its rendered table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import micro_workspace, wiki_workspace
+from repro.experiments.artifacts import Workspace, benchmark_workspace_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def wiki_ws():
+    """The "full Wikipedia" analogue workspace (Table 2 scale)."""
+    return wiki_workspace(seed=0)
+
+
+@pytest.fixture(scope="session")
+def micro_ws():
+    """The "Wikipedia subset" analogue (regularization ablations)."""
+    return micro_workspace(seed=0, weak_label=True)
+
+
+@pytest.fixture(scope="session")
+def benchmark_ws():
+    """The benchmark-model workspace of Appendix B.2 (96/2/2 split,
+    co-occurrence KG, page graph)."""
+    return Workspace(benchmark_workspace_config(seed=0))
+
+
+@pytest.fixture(scope="session")
+def micro_nowl_ws():
+    """Micro workspace without weak labeling (Table 11)."""
+    return micro_workspace(seed=0, weak_label=False)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered table to benchmarks/results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

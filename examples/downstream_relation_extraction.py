@@ -1,0 +1,94 @@
+"""Downstream transfer: TACRED-style relation extraction (mini Table 3).
+
+Trains a text-only span classifier (SpanBERT stand-in) and the same
+classifier augmented with frozen contextual Bootleg entity embeddings,
+then compares TACRED-style micro F1 — the paper's demonstration that
+Bootleg's reasoning patterns transfer beyond NED.
+
+Run:  python examples/downstream_relation_extraction.py
+"""
+
+import numpy as np
+
+from repro.core import BootlegConfig, BootlegModel, TrainConfig, Trainer
+from repro.corpus import (
+    CorpusConfig,
+    EntityCounts,
+    NedDataset,
+    Vocabulary,
+    generate_corpus,
+)
+from repro.downstream import (
+    RelationModel,
+    TacredConfig,
+    TacredDataset,
+    extract_bootleg_features,
+    generate_tacred,
+    split_examples,
+    tacred_micro_f1,
+)
+from repro.kb import WorldConfig, generate_world
+from repro.weaklabel import weak_label_corpus
+
+
+def main() -> None:
+    world = generate_world(WorldConfig(num_entities=300, seed=2))
+    corpus = generate_corpus(world, CorpusConfig(num_pages=180, seed=2))
+    corpus, _ = weak_label_corpus(corpus, world.kb)
+    examples = generate_tacred(world, TacredConfig(num_examples=500, seed=2))
+    vocab = Vocabulary.build(
+        [s.tokens for s in corpus.sentences()] + [e.tokens for e in examples]
+    )
+    counts = EntityCounts.from_corpus(corpus, world.num_entities)
+
+    print("1. training the Bootleg NED model (feature provider)")
+    ned_train = NedDataset(corpus, "train", vocab, world.candidate_map, 6,
+                           kgs=[world.kg])
+    bootleg = BootlegModel(
+        BootlegConfig(num_candidates=6), world.kb, vocab,
+        entity_counts=counts.counts,
+    )
+    Trainer(
+        bootleg, ned_train, TrainConfig(epochs=15, batch_size=32, learning_rate=3e-3)
+    ).train()
+
+    print("2. extracting frozen contextual entity embeddings for TACRED")
+    features, signals = extract_bootleg_features(
+        bootleg, examples, vocab, world.candidate_map, world, num_candidates=6
+    )
+    connected = sum(1 for s in signals.values() if s.pair_connected)
+    print(f"   {connected}/{len(examples)} examples have a predicted KG edge")
+
+    train_examples = split_examples(examples, "train")
+    test_examples = split_examples(examples, "test")
+    gold = [e.label for e in test_examples]
+    num_labels = world.kb.num_relations + 1
+    # Feature dim = contextual H + type payload + relation payload + 2
+    # pairwise KG scalars; read it off the extracted features.
+    feature_dim = next(iter(features.values())).shape[-1]
+
+    for name, use_features in (("SpanBERT stand-in", False), ("+ Bootleg features", True)):
+        model = RelationModel(
+            vocab, num_labels,
+            bootleg_dim=feature_dim if use_features else 0,
+            rng=np.random.default_rng(0),
+        )
+        dataset = TacredDataset(
+            train_examples, vocab,
+            bootleg_features=features if use_features else None,
+        )
+        Trainer(
+            model, dataset, TrainConfig(epochs=15, batch_size=32, learning_rate=2e-3)
+        ).train()
+        test_dataset = TacredDataset(
+            test_examples, vocab,
+            bootleg_features=features if use_features else None,
+        )
+        predicted = []
+        for batch in test_dataset.batches(64):
+            predicted.extend(model.predictions(batch, model(batch)).tolist())
+        print(f"3. {name}: test micro F1 = {tacred_micro_f1(predicted, gold):.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Train Bootleg on a hand-built knowledge base (the paper's Lincoln
+examples).
+
+Shows the public KB-construction API: define entities, types with
+affordance vocabulary, relations with indicator words, KG triples, and
+training sentences by hand — then train a small Bootleg model and watch
+it disambiguate "lincoln" three different ways:
+
+- "how tall is lincoln"            -> the person (type affordance),
+- "lincoln in logan_county"        -> the Illinois city (KG relation),
+- "lincoln or ford"                -> the car company (type consistency).
+
+Run:  python examples/train_custom_kb.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BootlegAnnotator,
+    BootlegConfig,
+    BootlegModel,
+    TrainConfig,
+    Trainer,
+)
+from repro.corpus import NedDataset, build_vocabulary
+from repro.corpus.document import Corpus, Mention, Page, Sentence
+from repro.kb import (
+    CandidateMap,
+    EntityRecord,
+    KnowledgeBase,
+    KnowledgeGraph,
+    RelationRecord,
+    Triple,
+    TypeRecord,
+)
+
+PERSON, LOCATION, ORG = 0, 1, 2
+
+TYPES = [
+    TypeRecord(0, "person", PERSON, ("tall", "born", "president")),
+    TypeRecord(1, "city", LOCATION, ("visit", "capital", "live")),
+    TypeRecord(2, "car company", ORG, ("expensive", "drive", "buy")),
+    TypeRecord(3, "county", LOCATION, ("county",)),
+]
+
+RELATIONS = [RelationRecord(0, "capital of", ("in",), 1, 1)]
+
+ENTITIES = [
+    EntityRecord(0, "abraham_lincoln", "lincoln", (), (0,), PERSON, gender="m"),
+    EntityRecord(1, "lincoln_nebraska", "lincoln", (), (1,), LOCATION),
+    EntityRecord(2, "lincoln_illinois", "lincoln", (), (1,), LOCATION, relation_ids=(0,)),
+    EntityRecord(3, "lincoln_motors", "lincoln", (), (2,), ORG),
+    EntityRecord(4, "ford", "ford", (), (2,), ORG),
+    EntityRecord(5, "logan_county", "logan_county", (), (3,), LOCATION),
+    EntityRecord(6, "chevrolet", "chevrolet", (), (2,), ORG),
+]
+
+TRIPLES = [Triple(2, 0, 5)]  # lincoln_illinois capital-of logan_county
+
+# Hand-written training sentences (mention spans over tokens).
+TRAIN_TEXT = [
+    (["how", "tall", "is", "lincoln"], [(3, 0)]),
+    (["lincoln", "was", "born", "here"], [(0, 0)]),
+    (["the", "president", "lincoln", "spoke"], [(2, 0)]),
+    (["visit", "lincoln", "this", "summer"], [(1, 1)]),
+    (["people", "live", "in", "lincoln"], [(3, 1)]),
+    (["lincoln", "in", "logan_county"], [(0, 2), (2, 5)]),
+    (["the", "capital", "lincoln", "in", "logan_county"], [(2, 2), (4, 5)]),
+    (["is", "a", "lincoln", "or", "ford", "expensive"], [(2, 3), (4, 4)]),
+    (["drive", "a", "lincoln", "or", "chevrolet"], [(2, 3), (4, 6)]),
+    (["buy", "a", "ford", "or", "lincoln"], [(2, 4), (4, 3)]),
+    (["ford", "is", "expensive"], [(0, 4)]),
+    (["visit", "logan_county", "soon"], [(1, 5)]),
+    (["chevrolet", "is", "expensive", "to", "drive"], [(0, 6)]),
+]
+
+
+def build_corpus() -> Corpus:
+    sentences = []
+    rng = np.random.default_rng(0)
+    sentence_id = 0
+    # Repeat the hand-written data with shuffled filler prefixes so the
+    # model sees enough variation to train on.
+    for repeat in range(30):
+        for tokens, mentions in TRAIN_TEXT:
+            prefix = [f"w{int(rng.integers(8))}"]
+            shifted = [
+                Mention(pos + 1, pos + 2, tokens[pos], gold)
+                for pos, gold in mentions
+            ]
+            sentences.append(
+                Sentence(sentence_id, 0, prefix + list(tokens), shifted)
+            )
+            sentence_id += 1
+    return Corpus([Page(0, 0, "train", sentences)])
+
+
+def main() -> None:
+    kb = KnowledgeBase(ENTITIES, TYPES, RELATIONS)
+    kg = KnowledgeGraph(kb.num_entities, TRIPLES)
+    cmap = CandidateMap()
+    for entity in ENTITIES:
+        cmap.add(entity.mention_stem, entity.entity_id)
+        cmap.add(entity.title, entity.entity_id)
+
+    corpus = build_corpus()
+    vocab = build_vocabulary(corpus)
+    train = NedDataset(corpus, "train", vocab, cmap, 4, kgs=[kg])
+    counts = np.full(kb.num_entities, 50)
+    model = BootlegModel(
+        BootlegConfig(num_candidates=4, hidden_dim=48, num_heads=4,
+                      regularization="fixed", regularization_value=0.3),
+        kb, vocab, entity_counts=counts,
+    )
+    print("training on the hand-built Lincoln world ...")
+    Trainer(
+        model, train, TrainConfig(epochs=30, batch_size=16, learning_rate=3e-3)
+    ).train()
+
+    annotator = BootlegAnnotator(model, vocab, cmap, kb, kgs=[kg], num_candidates=4)
+    queries = [
+        "w0 how tall is lincoln",
+        "w0 lincoln in logan_county",
+        "w0 is a lincoln or ford expensive",
+        "w0 visit lincoln this summer",
+    ]
+    print()
+    for query in queries:
+        annotations = annotator.annotate(query)
+        lincoln = next(a for a in annotations if a.surface == "lincoln")
+        print(f"{query!r:45} -> {lincoln.entity_title}")
+
+
+if __name__ == "__main__":
+    main()

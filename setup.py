@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the wheel package.
+
+All real project metadata lives in pyproject.toml; this file only exists
+so that ``pip install -e .`` can use the legacy editable-install path in
+offline environments that lack ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

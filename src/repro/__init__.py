@@ -1,0 +1,24 @@
+"""repro — a reproduction of Bootleg (CIDR 2021).
+
+Bootleg: Chasing the Tail with Self-Supervised Named Entity
+Disambiguation. The package provides:
+
+- ``repro.nn``: a from-scratch autograd/NN substrate on numpy.
+- ``repro.kb``: knowledge base, knowledge graph, alias tables, and a
+  synthetic Wikidata-like world generator.
+- ``repro.corpus``: tokenizer and synthetic Wikipedia corpus generator
+  instantiating the paper's four reasoning patterns.
+- ``repro.weaklabel``: pronoun and alternate-name weak labeling.
+- ``repro.candgen``: candidate-map mining and candidate generation.
+- ``repro.text``: MiniBERT contextual encoder (BERT substitute).
+- ``repro.core``: the Bootleg model, regularization schemes, trainer,
+  annotator and embedding compression.
+- ``repro.baselines``: NED-Base and non-neural baselines.
+- ``repro.eval``: metrics, popularity slices, reasoning-pattern slices,
+  and error-bucket analysis.
+- ``repro.downstream``: TACRED-style relation extraction and the
+  Overton-style production task.
+- ``repro.benchmarks_data``: KORE50/RSS500/AIDA-style benchmark suites.
+"""
+
+__version__ = "1.0.0"

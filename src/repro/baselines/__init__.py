@@ -1,0 +1,12 @@
+"""Baselines: NED-Base (Févry-style biencoder) and non-neural priors."""
+
+from repro.baselines.ned_base import NedBaseConfig, NedBaseModel, NedBaseOutput
+from repro.baselines.simple import exact_match_predictions, most_popular_predictions
+
+__all__ = [
+    "NedBaseConfig",
+    "NedBaseModel",
+    "NedBaseOutput",
+    "exact_match_predictions",
+    "most_popular_predictions",
+]

@@ -1,0 +1,112 @@
+"""NED-Base: the BERT-based baseline of Févry et al. (Section 4.2).
+
+Learns entity embeddings by maximizing the dot product between each
+candidate's embedding and a fine-tuned contextual representation of the
+mention. It sees only text — no type, relation, or KG structure — which
+is exactly why it holds up on the head and collapses on the tail.
+
+Per the paper (Appendix B.2) the text encoder is fine-tuned (not
+frozen), unlike Bootleg's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.corpus.dataset import Batch
+from repro.corpus.vocab import Vocabulary
+from repro.errors import ConfigError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nn.attention import NEG_INF
+from repro.nn.layers import Embedding, Linear
+from repro.nn.loss import IGNORE_INDEX, cross_entropy
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.text.encoder import MiniBert
+
+
+@dataclasses.dataclass(frozen=True)
+class NedBaseConfig:
+    hidden_dim: int = 64
+    num_heads: int = 4
+    encoder_layers: int = 2
+    dropout: float = 0.1
+    max_len: int = 160
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ConfigError on inconsistent settings."""
+        if self.hidden_dim % self.num_heads:
+            raise ConfigError("hidden_dim must be divisible by num_heads")
+
+
+@dataclasses.dataclass
+class NedBaseOutput:
+    scores: Tensor  # (B, M, K)
+    mention_states: Tensor  # (B, M, H)
+
+
+class NedBaseModel(Module):
+    """Biencoder: score(c | m) = f(context of m) · u_c."""
+
+    def __init__(
+        self,
+        config: NedBaseConfig,
+        kb: KnowledgeBase,
+        vocab: Vocabulary,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        config.validate()
+        self.config = config
+        rng = rng or np.random.default_rng(
+            np.random.SeedSequence([config.seed, 1649760492])
+        )
+        self.encoder = MiniBert(
+            vocab_size=len(vocab),
+            hidden_dim=config.hidden_dim,
+            num_heads=config.num_heads,
+            num_layers=config.encoder_layers,
+            rng=rng,
+            dropout=config.dropout,
+            max_len=config.max_len,
+        )
+        self.entity_table = Embedding(
+            kb.num_entities, config.hidden_dim, rng, uniform_init=True
+        )
+        self.mention_proj = Linear(config.hidden_dim, config.hidden_dim, rng)
+
+    def forward(self, batch: Batch) -> NedBaseOutput:
+        """Score candidates by mention-context dot product."""
+        words = self.encoder(batch.token_ids, pad_mask=batch.token_pad_mask)
+        batch_size, num_mentions, _ = batch.mention_spans.shape
+        batch_index = np.repeat(np.arange(batch_size), num_mentions)
+        starts = batch.mention_spans[..., 0].reshape(-1)
+        ends = np.maximum(batch.mention_spans[..., 1].reshape(-1) - 1, 0)
+        mention_vec = words[batch_index, starts] + words[batch_index, ends]
+        mention_vec = self.mention_proj(mention_vec).reshape(
+            batch_size, num_mentions, self.config.hidden_dim
+        )
+        safe_ids = np.where(batch.candidate_ids >= 0, batch.candidate_ids, 0)
+        candidates = self.entity_table(safe_ids)  # (B, M, K, H)
+        scores = (
+            candidates
+            * mention_vec.reshape(batch_size, num_mentions, 1, self.config.hidden_dim)
+        ).sum(axis=-1)
+        scores = scores.masked_fill(~batch.candidate_mask, NEG_INF)
+        return NedBaseOutput(scores=scores, mention_states=mention_vec)
+
+    def loss(self, batch: Batch, output: NedBaseOutput) -> Tensor:
+        """Cross-entropy over the candidate scores."""
+        targets = np.where(batch.mention_mask, batch.gold_candidate, IGNORE_INDEX)
+        return cross_entropy(output.scores, targets)
+
+    def predictions(self, batch: Batch, output: NedBaseOutput) -> np.ndarray:
+        """Predicted entity id per mention (-1 at padding)."""
+        best = output.scores.data.argmax(axis=-1)
+        b_index = np.arange(best.shape[0])[:, None]
+        m_index = np.arange(best.shape[1])[None, :]
+        predicted = batch.candidate_ids[b_index, m_index, best]
+        return np.where(batch.mention_mask, predicted, -1)

@@ -1,0 +1,61 @@
+"""Non-neural baselines: popularity prior and exact title match.
+
+These pre-deep-learning strategies (Section 6: link counts and
+title/mention similarity were classic features) give the benchmark
+tables cheap reference points and sanity-check the datasets.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.dataset import NedDataset
+from repro.eval.predictions import MentionPrediction
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def _emit(item, mention_index: int, predicted: int) -> MentionPrediction:
+    return MentionPrediction(
+        sentence_id=item.sentence.sentence_id,
+        mention_index=mention_index,
+        surface=item.sentence.mentions[mention_index].surface,
+        gold_entity_id=int(item.gold_entity_ids[mention_index]),
+        predicted_entity_id=predicted,
+        candidate_ids=item.candidate_ids[mention_index].copy(),
+        candidate_scores=item.candidate_ids[mention_index] * 0.0,
+        evaluable=bool(item.evaluable[mention_index]),
+        is_weak=bool(item.is_weak[mention_index]),
+        pattern=item.sentence.pattern,
+    )
+
+
+def most_popular_predictions(dataset: NedDataset) -> list[MentionPrediction]:
+    """Predict each mention's highest-prior candidate (candidate 0)."""
+    results = []
+    for item in dataset.encoded:
+        for m in range(item.num_mentions):
+            candidates = item.candidate_ids[m]
+            valid = candidates[candidates >= 0]
+            predicted = int(valid[0]) if len(valid) else -1
+            results.append(_emit(item, m, predicted))
+    return results
+
+
+def exact_match_predictions(
+    dataset: NedDataset, kb: KnowledgeBase
+) -> list[MentionPrediction]:
+    """Predict the candidate whose title equals the surface; fall back to
+    the popularity prior."""
+    results = []
+    for item in dataset.encoded:
+        for m in range(item.num_mentions):
+            surface = item.sentence.mentions[m].surface
+            candidates = item.candidate_ids[m]
+            valid = [int(c) for c in candidates if c >= 0]
+            predicted = -1
+            for candidate in valid:
+                if kb.entity(candidate).title == surface:
+                    predicted = candidate
+                    break
+            if predicted == -1 and valid:
+                predicted = valid[0]
+            results.append(_emit(item, m, predicted))
+    return results

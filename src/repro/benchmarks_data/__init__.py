@@ -1,0 +1,19 @@
+"""Benchmark datasets shaped like KORE50 / RSS500 / AIDA CoNLL-YAGO."""
+
+from repro.benchmarks_data.suites import (
+    BenchmarkSuite,
+    build_aida_like,
+    build_all_suites,
+    build_kore_like,
+    build_rss_like,
+    prefix_with_title,
+)
+
+__all__ = [
+    "BenchmarkSuite",
+    "build_aida_like",
+    "build_all_suites",
+    "build_kore_like",
+    "build_rss_like",
+    "prefix_with_title",
+]

@@ -1,0 +1,29 @@
+"""Candidate mining, candidate generation, and mention detection
+(the paper's Γ pipeline plus the entity-linking front end)."""
+
+from repro.candgen.detection import (
+    DetectedMention,
+    MentionDetector,
+    evaluate_detection,
+    evaluate_linking,
+    link_sentences,
+)
+from repro.candgen.generator import NGramCandidateGenerator, direct_candidates
+from repro.candgen.mining import (
+    mine_anchor_candidates,
+    mine_candidate_map,
+    mine_kb_candidates,
+)
+
+__all__ = [
+    "DetectedMention",
+    "MentionDetector",
+    "evaluate_detection",
+    "evaluate_linking",
+    "link_sentences",
+    "NGramCandidateGenerator",
+    "direct_candidates",
+    "mine_anchor_candidates",
+    "mine_candidate_map",
+    "mine_kb_candidates",
+]

@@ -1,0 +1,82 @@
+"""Candidate generation for free text (Appendix B.1 benchmark path).
+
+Two lookup strategies:
+
+- :func:`direct_candidates` — the Wikipedia-data path: the mention
+  surface is looked up directly in Γ.
+- :class:`NGramCandidateGenerator` — the benchmark path: when an alias
+  is missing from Γ, scan n-grams of the mention in descending length
+  and rank candidates by the similarity of sentence context words to
+  each candidate's profile (the paper compares proper nouns of the
+  sentence against candidate page text; we compare sentence tokens
+  against the candidate's cue/affordance word profile).
+"""
+
+from __future__ import annotations
+
+from repro.kb.aliases import CandidateMap
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def direct_candidates(
+    candidate_map: CandidateMap, surface: str, k: int
+) -> list[tuple[int, float]]:
+    """Direct Γ lookup; empty list when the alias is unknown."""
+    return candidate_map.get_candidates(surface, k)
+
+
+class NGramCandidateGenerator:
+    """Backoff candidate generation for surfaces missing from Γ."""
+
+    def __init__(self, candidate_map: CandidateMap, kb: KnowledgeBase) -> None:
+        self.candidate_map = candidate_map
+        self.kb = kb
+        # Per-entity context profile: words the entity's text tends to
+        # contain (cue words + affordance words of its types + aliases).
+        self._profiles: dict[int, set[str]] = {}
+
+    def _profile(self, entity_id: int) -> set[str]:
+        profile = self._profiles.get(entity_id)
+        if profile is None:
+            entity = self.kb.entity(entity_id)
+            profile = set(entity.cue_words) | set(entity.aliases)
+            for type_id in entity.type_ids:
+                profile |= set(self.kb.type_record(type_id).affordance_words)
+            self._profiles[entity_id] = profile
+        return profile
+
+    def _context_score(self, entity_id: int, context_tokens: list[str]) -> float:
+        profile = self._profile(entity_id)
+        if not profile:
+            return 0.0
+        return sum(1.0 for token in context_tokens if token in profile)
+
+    def candidates(
+        self, surface: str, context_tokens: list[str], k: int
+    ) -> list[tuple[int, float]]:
+        """Candidates for ``surface`` given its sentence context.
+
+        Direct lookup first; otherwise n-gram backoff from the longest
+        sub-span, re-ranked by context similarity.
+        """
+        direct = self.candidate_map.get_candidates(surface, k)
+        if direct:
+            return direct
+        words = surface.split()
+        for length in range(len(words) - 1, 0, -1):
+            pool: dict[int, float] = {}
+            for start in range(0, len(words) - length + 1):
+                ngram = " ".join(words[start : start + length])
+                for entity_id, score in self.candidate_map.get_candidates(ngram, k * 4):
+                    pool[entity_id] = max(pool.get(entity_id, 0.0), score)
+            if pool:
+                rescored = [
+                    (
+                        entity_id,
+                        prior + self._context_score(entity_id, context_tokens),
+                    )
+                    for entity_id, prior in pool.items()
+                ]
+                rescored.sort(key=lambda item: (-item[1], item[0]))
+                return rescored[:k]
+        return []

@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+Subcommands cover the full lifecycle a downstream user needs:
+
+- ``repro generate-world``  — create and save a synthetic world
+- ``repro generate-corpus`` — create and save a corpus for a world
+- ``repro train``           — train Bootleg (or an ablation) and save it
+- ``repro evaluate``        — bucketed F1 of a saved model on a split
+- ``repro annotate``        — disambiguate free text with a saved model
+
+Models are saved as self-contained checkpoints: the npz carries the
+model config, the vocabulary, and the entity counts, so ``evaluate`` and
+``annotate`` need only the world/corpus files and the checkpoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+import numpy as np
+
+from repro.core.annotator import BootlegAnnotator
+from repro.core.model import BootlegConfig, BootlegModel
+from repro.core.trainer import TrainConfig, Trainer, predict
+from repro.corpus.dataset import NedDataset, build_vocabulary
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.corpus.io import load_corpus, save_corpus
+from repro.corpus.stats import EntityCounts
+from repro.corpus.vocab import SPECIAL_TOKENS, Vocabulary
+from repro.errors import ReproError
+from repro.eval.slices import f1_by_bucket, mentions_by_bucket
+from repro.kb.io import load_world, save_world
+from repro.kb.synthetic import WorldConfig, generate_world
+from repro.nn.serialize import load_module, save_module
+from repro.utils.tables import format_table
+from repro.weaklabel.pipeline import weak_label_corpus
+
+MODEL_PRESETS = {
+    "bootleg": {},
+    "ent-only": {
+        "use_types": False,
+        "use_relations": False,
+        "num_kg_modules": 0,
+        "use_type_prediction": False,
+    },
+    "type-only": {
+        "use_entity": False,
+        "use_relations": False,
+        "num_kg_modules": 0,
+    },
+    "kg-only": {
+        "use_entity": False,
+        "use_types": False,
+        "use_type_prediction": False,
+    },
+}
+
+
+def _vocab_from_tokens(tokens: list[str]) -> Vocabulary:
+    vocab = Vocabulary.build([tokens])
+    return vocab
+
+
+def _vocab_content_tokens(vocab: Vocabulary) -> list[str]:
+    return [vocab.decode_id(i) for i in range(len(SPECIAL_TOKENS), len(vocab))]
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_generate_world(args: argparse.Namespace) -> int:
+    """``repro generate-world``: create and save a synthetic world."""
+    config = WorldConfig(num_entities=args.entities, seed=args.seed)
+    world = generate_world(config)
+    save_world(world, args.out)
+    print(
+        f"world saved to {args.out}: {world.kb.num_entities} entities, "
+        f"{world.kb.num_types} types, {world.kg.num_triples} triples"
+    )
+    return 0
+
+
+def cmd_generate_corpus(args: argparse.Namespace) -> int:
+    """``repro generate-corpus``: create and save a corpus."""
+    world = load_world(args.world)
+    config = CorpusConfig(num_pages=args.pages, seed=args.seed)
+    corpus = generate_corpus(world, config)
+    if args.weak_label:
+        corpus, report = weak_label_corpus(corpus, world.kb)
+        print(f"weak labeling: +{report.total_weak_labels} mentions "
+              f"({report.growth_factor:.2f}x)")
+    save_corpus(corpus, args.out)
+    print(
+        f"corpus saved to {args.out}: {len(corpus.pages)} pages, "
+        f"{len(corpus.sentences())} sentences, "
+        f"{corpus.num_mentions()} mentions"
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: train a model and save a self-contained checkpoint."""
+    world = load_world(args.world)
+    corpus = load_corpus(args.corpus)
+    vocab = build_vocabulary(corpus)
+    counts = EntityCounts.from_corpus(corpus, world.num_entities)
+    dataset = NedDataset(
+        corpus, "train", vocab, world.candidate_map, args.candidates,
+        kgs=[world.kg],
+    )
+    overrides = dict(MODEL_PRESETS[args.preset])
+    config = BootlegConfig(num_candidates=args.candidates, **overrides)
+    model = BootlegModel(config, world.kb, vocab, entity_counts=counts.counts)
+    trainer = Trainer(
+        model,
+        dataset,
+        TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+        ),
+    )
+    history = trainer.train()
+    for stats in history:
+        print(f"epoch {stats.epoch}: loss {stats.mean_loss:.4f} "
+              f"({stats.seconds:.1f}s)")
+    save_module(
+        model,
+        args.out,
+        metadata={
+            "model_config": dataclasses.asdict(config),
+            "vocab_tokens": _vocab_content_tokens(vocab),
+            "entity_counts": counts.counts.tolist(),
+        },
+    )
+    print(f"model saved to {args.out}")
+    return 0
+
+
+def _load_model(world, checkpoint: str):
+    """Rebuild a model + vocabulary from a self-contained checkpoint."""
+    import json
+    from pathlib import Path
+
+    with np.load(Path(checkpoint)) as archive:
+        metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    vocab = _vocab_from_tokens(metadata["vocab_tokens"])
+    config = BootlegConfig(**metadata["model_config"])
+    model = BootlegModel(
+        config, world.kb, vocab,
+        entity_counts=np.asarray(metadata["entity_counts"]),
+    )
+    load_module(model, checkpoint)
+    model.eval()
+    return model, vocab, config
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``repro evaluate``: bucketed F1 of a saved model on a split."""
+    world = load_world(args.world)
+    corpus = load_corpus(args.corpus)
+    model, vocab, config = _load_model(world, args.model)
+    counts = EntityCounts.from_corpus(corpus, world.num_entities)
+    dataset = NedDataset(
+        corpus, args.split, vocab, world.candidate_map,
+        config.num_candidates, kgs=[world.kg],
+    )
+    records = predict(model, dataset)
+    buckets = f1_by_bucket(records, counts)
+    sizes = mentions_by_bucket(records, counts)
+    rows = [
+        ["F1", buckets["all"], buckets["torso"], buckets["tail"], buckets["unseen"]],
+        ["# mentions", sizes["all"], sizes["torso"], sizes["tail"], sizes["unseen"]],
+    ]
+    print(
+        format_table(
+            ["", "All", "Torso", "Tail", "Unseen"],
+            rows,
+            title=f"{args.split} split",
+        )
+    )
+    return 0
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    """``repro annotate``: disambiguate mentions in free text."""
+    world = load_world(args.world)
+    model, vocab, config = _load_model(world, args.model)
+    annotator = BootlegAnnotator(
+        model, vocab, world.candidate_map, world.kb,
+        kgs=[world.kg], num_candidates=config.num_candidates,
+    )
+    annotations = annotator.annotate(args.text)
+    if not annotations:
+        print("no known mentions found")
+        return 0
+    for annotation in annotations:
+        candidates = ", ".join(
+            f"{title} ({score:.2f})" for title, score in annotation.candidates[:4]
+        )
+        print(
+            f"[{annotation.start}:{annotation.end}] {annotation.surface!r} "
+            f"-> {annotation.entity_title}  |  {candidates}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bootleg reproduction: worlds, corpora, training, annotation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    world_parser = sub.add_parser("generate-world", help="create a synthetic world")
+    world_parser.add_argument("--entities", type=int, default=400)
+    world_parser.add_argument("--seed", type=int, default=0)
+    world_parser.add_argument("--out", required=True)
+    world_parser.set_defaults(func=cmd_generate_world)
+
+    corpus_parser = sub.add_parser("generate-corpus", help="create a corpus")
+    corpus_parser.add_argument("--world", required=True)
+    corpus_parser.add_argument("--pages", type=int, default=300)
+    corpus_parser.add_argument("--seed", type=int, default=0)
+    corpus_parser.add_argument("--weak-label", action="store_true")
+    corpus_parser.add_argument("--out", required=True)
+    corpus_parser.set_defaults(func=cmd_generate_corpus)
+
+    train_parser = sub.add_parser("train", help="train a model")
+    train_parser.add_argument("--world", required=True)
+    train_parser.add_argument("--corpus", required=True)
+    train_parser.add_argument("--preset", choices=sorted(MODEL_PRESETS), default="bootleg")
+    train_parser.add_argument("--epochs", type=int, default=20)
+    train_parser.add_argument("--batch-size", type=int, default=32)
+    train_parser.add_argument("--learning-rate", type=float, default=3e-3)
+    train_parser.add_argument("--candidates", type=int, default=6)
+    train_parser.add_argument("--seed", type=int, default=0)
+    train_parser.add_argument("--out", required=True)
+    train_parser.set_defaults(func=cmd_train)
+
+    eval_parser = sub.add_parser("evaluate", help="evaluate a saved model")
+    eval_parser.add_argument("--world", required=True)
+    eval_parser.add_argument("--corpus", required=True)
+    eval_parser.add_argument("--model", required=True)
+    eval_parser.add_argument("--split", default="val", choices=("train", "val", "test"))
+    eval_parser.set_defaults(func=cmd_evaluate)
+
+    annotate_parser = sub.add_parser("annotate", help="disambiguate free text")
+    annotate_parser.add_argument("--world", required=True)
+    annotate_parser.add_argument("--model", required=True)
+    annotate_parser.add_argument("--text", required=True)
+    annotate_parser.set_defaults(func=cmd_annotate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

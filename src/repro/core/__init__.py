@@ -1,0 +1,45 @@
+"""Bootleg core: model, regularization, trainer, annotator, compression."""
+
+from repro.core.annotator import AnnotatedMention, BootlegAnnotator
+from repro.core.compress import (
+    CompressionStats,
+    compressed_embeddings,
+    compression_stats,
+)
+from repro.core.embeddings import EmbedderConfig, EntityEmbedder, TypePredictor
+from repro.core.model import BootlegConfig, BootlegModel, BootlegOutput
+from repro.core.modules import Ent2Ent, KG2Ent, Phrase2Ent
+from repro.core.regularization import (
+    P_MAX,
+    P_MIN,
+    RegularizationScheme,
+    SCHEME_NAMES,
+    make_scheme,
+)
+from repro.core.trainer import EpochStats, TrainConfig, Trainer, predict
+
+__all__ = [
+    "AnnotatedMention",
+    "BootlegAnnotator",
+    "CompressionStats",
+    "compressed_embeddings",
+    "compression_stats",
+    "EmbedderConfig",
+    "EntityEmbedder",
+    "TypePredictor",
+    "BootlegConfig",
+    "BootlegModel",
+    "BootlegOutput",
+    "Ent2Ent",
+    "KG2Ent",
+    "Phrase2Ent",
+    "P_MAX",
+    "P_MIN",
+    "RegularizationScheme",
+    "SCHEME_NAMES",
+    "make_scheme",
+    "EpochStats",
+    "TrainConfig",
+    "Trainer",
+    "predict",
+]

@@ -1,0 +1,136 @@
+"""End-user inference API: disambiguate mentions in free text.
+
+This is the "open-source system" surface of Bootleg: given a trained
+model and raw text, detect mentions (known aliases from Γ) or accept
+user-provided spans, and return the most likely entity per mention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.trainer import predict
+from repro.corpus.dataset import NedDataset
+from repro.corpus.document import Corpus, Mention, Page, Sentence
+from repro.corpus.tokenizer import tokenize
+from repro.corpus.vocab import Vocabulary
+from repro.errors import ConfigError
+from repro.kb.aliases import CandidateMap
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.knowledge_graph import KnowledgeGraph
+
+
+@dataclasses.dataclass
+class AnnotatedMention:
+    """One disambiguated mention in user text."""
+
+    start: int  # token index, inclusive
+    end: int  # token index, exclusive
+    surface: str
+    entity_id: int
+    entity_title: str
+    score: float
+    candidates: list[tuple[str, float]]  # (title, score), best first
+
+
+class BootlegAnnotator:
+    """Batched free-text disambiguation over a trained model."""
+
+    def __init__(
+        self,
+        model,
+        vocab: Vocabulary,
+        candidate_map: CandidateMap,
+        kb: KnowledgeBase,
+        kgs: list[KnowledgeGraph] | None = None,
+        num_candidates: int = 6,
+    ) -> None:
+        self.model = model
+        self.vocab = vocab
+        self.candidate_map = candidate_map
+        self.kb = kb
+        self.kgs = kgs or []
+        self.num_candidates = num_candidates
+
+    # ------------------------------------------------------------------
+    def detect_mentions(self, tokens: list[str]) -> list[tuple[int, int]]:
+        """Greedy longest-match detection of known aliases (left to right)."""
+        spans: list[tuple[int, int]] = []
+        position = 0
+        max_span = 3
+        while position < len(tokens):
+            matched = None
+            for length in range(min(max_span, len(tokens) - position), 0, -1):
+                surface = " ".join(tokens[position : position + length])
+                if self.candidate_map.ambiguity(surface) > 0:
+                    matched = (position, position + length)
+                    break
+            if matched:
+                spans.append(matched)
+                position = matched[1]
+            else:
+                position += 1
+        return spans
+
+    def annotate(
+        self,
+        text: str,
+        mention_spans: list[tuple[int, int]] | None = None,
+    ) -> list[AnnotatedMention]:
+        """Disambiguate ``text``; spans are token-index pairs (end exclusive)."""
+        tokens = tokenize(text)
+        if not tokens:
+            raise ConfigError("cannot annotate empty text")
+        if mention_spans is None:
+            mention_spans = self.detect_mentions(tokens)
+        if not mention_spans:
+            return []
+        mentions = []
+        for start, end in mention_spans:
+            if not 0 <= start < end <= len(tokens):
+                raise ConfigError(f"invalid mention span ({start}, {end})")
+            surface = " ".join(tokens[start:end])
+            # Gold is unknown at inference; use a placeholder id of 0 — the
+            # dataset only uses it for supervision flags we ignore here.
+            mentions.append(Mention(start, end, surface, 0))
+        sentence = Sentence(0, 0, tokens, mentions)
+        corpus = Corpus([Page(0, 0, "test", [sentence])])
+        dataset = NedDataset(
+            corpus,
+            "test",
+            self.vocab,
+            self.candidate_map,
+            self.num_candidates,
+            kgs=self.kgs,
+        )
+        if len(dataset) == 0:
+            return []
+        records = predict(self.model, dataset)
+        annotations = []
+        for record in records:
+            if record.predicted_entity_id < 0:
+                continue
+            order = np.argsort(-record.candidate_scores)
+            ranked = [
+                (
+                    self.kb.entity(int(record.candidate_ids[i])).title,
+                    float(record.candidate_scores[i]),
+                )
+                for i in order
+                if record.candidate_ids[i] >= 0
+            ]
+            span = mention_spans[record.mention_index]
+            annotations.append(
+                AnnotatedMention(
+                    start=span[0],
+                    end=span[1],
+                    surface=record.surface,
+                    entity_id=record.predicted_entity_id,
+                    entity_title=self.kb.entity(record.predicted_entity_id).title,
+                    score=float(record.candidate_scores.max()),
+                    candidates=ranked,
+                )
+            )
+        return annotations

@@ -1,0 +1,97 @@
+"""Entity-embedding compression (Section 4.4, Figure 3).
+
+Keeps the learned embeddings of the top-k% entities by training
+popularity and replaces every other row with the embedding of an unseen
+entity. Because unseen rows are never updated from their shared (zero)
+initialization, the replacement row *is* the "unknown entity" vector the
+model already knows how to handle from the 2-D regularization.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class CompressionStats:
+    keep_percent: float
+    kept_rows: int
+    total_rows: int
+    embedding_mb_full: float
+    embedding_mb_compressed: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """The paper's ratio: 100 - k (percentage of embeddings dropped)."""
+        return 100.0 - self.keep_percent
+
+
+def _entity_table(model):
+    table = getattr(getattr(model, "embedder", None), "entity_table", None)
+    if table is None:
+        raise ConfigError("model has no entity embedding table to compress")
+    return table
+
+
+def compression_stats(model, keep_percent: float) -> CompressionStats:
+    """Memory accounting for a given keep percentage (float32 MB)."""
+    table = _entity_table(model)
+    total, dim = table.weight.data.shape
+    kept = int(round(total * keep_percent / 100.0))
+    full_mb = total * dim * 4 / 2**20
+    return CompressionStats(
+        keep_percent=keep_percent,
+        kept_rows=kept,
+        total_rows=total,
+        embedding_mb_full=full_mb,
+        embedding_mb_compressed=kept * dim * 4 / 2**20,
+    )
+
+
+@contextlib.contextmanager
+def compressed_embeddings(
+    model,
+    entity_counts: np.ndarray,
+    keep_percent: float,
+    rng: np.random.Generator | None = None,
+) -> Iterator[CompressionStats]:
+    """Temporarily compress a model's entity table (restored on exit).
+
+    ``keep_percent`` is the paper's k: the top k% of entities by
+    ``entity_counts`` keep their rows; the rest are replaced by the
+    embedding of a randomly chosen unseen entity (or the zero vector if
+    every entity was seen).
+    """
+    if not 0.0 <= keep_percent <= 100.0:
+        raise ConfigError(f"keep_percent must be in [0, 100], got {keep_percent}")
+    table = _entity_table(model)
+    weight = table.weight.data
+    counts = np.asarray(entity_counts)
+    if counts.shape[0] != weight.shape[0]:
+        raise ConfigError(
+            f"entity_counts length {counts.shape[0]} does not match table rows "
+            f"{weight.shape[0]}"
+        )
+    rng = rng or np.random.default_rng(0)
+    stats = compression_stats(model, keep_percent)
+    order = np.argsort(-counts, kind="stable")
+    kept_ids = set(int(i) for i in order[: stats.kept_rows])
+    unseen_ids = np.flatnonzero(counts == 0)
+    if len(unseen_ids):
+        replacement = weight[int(rng.choice(unseen_ids))].copy()
+    else:
+        replacement = np.zeros(weight.shape[1])
+    original = weight.copy()
+    try:
+        for row in range(weight.shape[0]):
+            if row not in kept_ids:
+                weight[row] = replacement
+        yield stats
+    finally:
+        weight[...] = original

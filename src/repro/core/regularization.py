@@ -1,0 +1,91 @@
+"""Entity-embedding regularization schemes p(e) (Section 3.3.1, Appendix B).
+
+Bootleg's 2-D regularization masks the *entire* entity embedding of a
+candidate with probability ``p(e)`` during training. The schemes:
+
+- ``none``: p = 0 everywhere (standard regularization only).
+- ``fixed``: a constant p (the paper sweeps 0/20/50/80%).
+- ``inv_pop_pow`` / ``inv_pop_log`` / ``inv_pop_lin``: *less*
+  regularization for *more* popular entities. Calibrated as in Appendix
+  B: an entity seen once gets p = 0.95, an entity seen ``max_count``
+  (paper: 10,000) times gets p = 0.05, interpolated by a power / log /
+  linear curve, clipped to [0.05, 0.95]. With ``max_count = 10,000``
+  the power curve is the paper's ``f(x) = 0.95 * x^-0.32``.
+- ``pop_pow``: the adversarial inverse (*more* popular ⇒ *more*
+  regularized), used as an ablation control.
+
+Unseen entities (count 0) receive the maximum regularization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+P_MAX = 0.95
+P_MIN = 0.05
+
+SCHEME_NAMES = (
+    "none",
+    "fixed",
+    "inv_pop_pow",
+    "inv_pop_log",
+    "inv_pop_lin",
+    "pop_pow",
+)
+
+
+class RegularizationScheme:
+    """Maps per-entity training counts to masking probabilities."""
+
+    def __init__(self, name: str, value: float = 0.0, max_count: int = 10000) -> None:
+        if name not in SCHEME_NAMES:
+            raise ConfigError(f"unknown regularization scheme {name!r}")
+        if name == "fixed" and not 0.0 <= value <= 1.0:
+            raise ConfigError(f"fixed scheme needs value in [0,1], got {value}")
+        if max_count < 2:
+            raise ConfigError(f"max_count must be >= 2, got {max_count}")
+        self.name = name
+        self.value = value
+        self.max_count = max_count
+
+    def probabilities(self, counts: np.ndarray) -> np.ndarray:
+        """p(e) for each entity given its training gold-mention count."""
+        counts = np.asarray(counts, dtype=np.float64)
+        if (counts < 0).any():
+            raise ConfigError("entity counts must be non-negative")
+        if self.name == "none":
+            return np.zeros_like(counts)
+        if self.name == "fixed":
+            return np.full_like(counts, self.value)
+        hi = float(self.max_count)
+        x = np.clip(counts, 1.0, hi)
+        if self.name == "inv_pop_pow":
+            exponent = np.log(P_MAX / P_MIN) / np.log(hi)
+            p = P_MAX * x**-exponent
+        elif self.name == "inv_pop_log":
+            slope = (P_MIN - P_MAX) / np.log(hi)
+            p = P_MAX + slope * np.log(x)
+        elif self.name == "inv_pop_lin":
+            slope = (P_MIN - P_MAX) / (hi - 1.0)
+            p = P_MAX + slope * (x - 1.0)
+        else:  # pop_pow: more popular => more regularized
+            exponent = np.log(P_MAX / P_MIN) / np.log(hi)
+            p = P_MIN * x**exponent
+        p = np.clip(p, P_MIN, P_MAX)
+        # Entities never seen in training get maximum masking.
+        p = np.where(counts == 0, P_MAX, p)
+        return p
+
+    def __repr__(self) -> str:
+        if self.name == "fixed":
+            return f"RegularizationScheme(fixed, p={self.value})"
+        return f"RegularizationScheme({self.name}, max_count={self.max_count})"
+
+
+def make_scheme(
+    name: str, value: float = 0.0, max_count: int = 10000
+) -> RegularizationScheme:
+    """Factory mirroring the paper's ablation grid names."""
+    return RegularizationScheme(name, value=value, max_count=max_count)

@@ -1,0 +1,78 @@
+"""Corpus substrate: tokenizer, vocabulary, documents, synthetic
+Wikipedia generation, statistics, and model-ready datasets."""
+
+from repro.corpus.dataset import (
+    CANDIDATE_PAD,
+    Batch,
+    EncodedSentence,
+    NedDataset,
+    build_vocabulary,
+)
+from repro.corpus.document import (
+    Corpus,
+    Mention,
+    Page,
+    PROVENANCE_ALIAS_WL,
+    PROVENANCE_ANCHOR,
+    PROVENANCE_PRONOUN_WL,
+    Sentence,
+    SPLITS,
+)
+from repro.corpus.generator import (
+    CorpusConfig,
+    CorpusGenerator,
+    PATTERN_AFFORDANCE,
+    PATTERN_CONSISTENCY,
+    PATTERN_ENTITY_MEMO,
+    PATTERN_KG_RELATION,
+    PATTERNS,
+    generate_corpus,
+)
+from repro.corpus.stats import (
+    BUCKETS,
+    EntityCounts,
+    HEAD_THRESHOLD,
+    TAIL_THRESHOLD,
+    build_page_graph,
+    mention_growth_factor,
+    pattern_coverage,
+)
+from repro.corpus.io import load_corpus, save_corpus
+from repro.corpus.tokenizer import detokenize, tokenize
+from repro.corpus.vocab import Vocabulary
+
+__all__ = [
+    "CANDIDATE_PAD",
+    "Batch",
+    "EncodedSentence",
+    "NedDataset",
+    "build_vocabulary",
+    "Corpus",
+    "Mention",
+    "Page",
+    "PROVENANCE_ALIAS_WL",
+    "PROVENANCE_ANCHOR",
+    "PROVENANCE_PRONOUN_WL",
+    "Sentence",
+    "SPLITS",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "PATTERN_AFFORDANCE",
+    "PATTERN_CONSISTENCY",
+    "PATTERN_ENTITY_MEMO",
+    "PATTERN_KG_RELATION",
+    "PATTERNS",
+    "generate_corpus",
+    "BUCKETS",
+    "EntityCounts",
+    "build_page_graph",
+    "HEAD_THRESHOLD",
+    "TAIL_THRESHOLD",
+    "mention_growth_factor",
+    "pattern_coverage",
+    "Vocabulary",
+    "detokenize",
+    "tokenize",
+    "load_corpus",
+    "save_corpus",
+]

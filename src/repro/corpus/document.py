@@ -1,0 +1,175 @@
+"""Document model: mentions, sentences, pages, and the corpus container.
+
+Mirrors the paper's data model: the corpus is a set of Wikipedia-like
+pages; each page is a list of sentences; each sentence carries tokens
+and labeled mention spans. Anchor mentions come from the generator
+("internal links"); weak-label mentions are added later by
+:mod:`repro.weaklabel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from repro.errors import CorpusError
+
+# Mention provenance values.
+PROVENANCE_ANCHOR = "anchor"
+PROVENANCE_PRONOUN_WL = "pronoun_wl"
+PROVENANCE_ALIAS_WL = "alias_wl"
+
+SPLITS = ("train", "val", "test")
+
+
+@dataclasses.dataclass(frozen=True)
+class Mention:
+    """A labeled mention span within a sentence.
+
+    ``start``/``end`` are token indices (end exclusive); ``surface`` is
+    the alias string used for candidate lookup; ``gold_entity_id`` is the
+    linked entity.
+    """
+
+    start: int
+    end: int
+    surface: str
+    gold_entity_id: int
+    provenance: str = PROVENANCE_ANCHOR
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise CorpusError(f"invalid mention span [{self.start}, {self.end})")
+        if self.provenance not in (
+            PROVENANCE_ANCHOR,
+            PROVENANCE_PRONOUN_WL,
+            PROVENANCE_ALIAS_WL,
+        ):
+            raise CorpusError(f"unknown provenance {self.provenance!r}")
+
+    @property
+    def is_weak_label(self) -> bool:
+        """True when this mention came from weak labeling."""
+        return self.provenance != PROVENANCE_ANCHOR
+
+
+@dataclasses.dataclass
+class Sentence:
+    """A tokenized sentence with its labeled mentions.
+
+    ``pattern`` records which reasoning-pattern template generated the
+    sentence (ground truth for tests; the evaluation slices re-mine the
+    patterns from structure alone, as the paper does).
+    """
+
+    sentence_id: int
+    page_id: int
+    tokens: list[str]
+    mentions: list[Mention]
+    pattern: str = ""
+
+    def __post_init__(self) -> None:
+        for mention in self.mentions:
+            if mention.end > len(self.tokens):
+                raise CorpusError(
+                    f"mention span [{mention.start}, {mention.end}) exceeds "
+                    f"sentence length {len(self.tokens)}"
+                )
+        spans = sorted((m.start, m.end) for m in self.mentions)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            if s2 < e1:
+                raise CorpusError("mentions must be non-overlapping")
+
+    @property
+    def anchor_mentions(self) -> list[Mention]:
+        """Mentions from real anchor links."""
+        return [m for m in self.mentions if not m.is_weak_label]
+
+    @property
+    def weak_mentions(self) -> list[Mention]:
+        """Mentions added by weak labeling."""
+        return [m for m in self.mentions if m.is_weak_label]
+
+    def with_extra_mentions(self, extra: list[Mention]) -> "Sentence":
+        """Return a copy with additional (e.g. weak-label) mentions."""
+        return Sentence(
+            sentence_id=self.sentence_id,
+            page_id=self.page_id,
+            tokens=list(self.tokens),
+            mentions=sorted([*self.mentions, *extra], key=lambda m: m.start),
+            pattern=self.pattern,
+        )
+
+
+@dataclasses.dataclass
+class Page:
+    """A Wikipedia-like page: sentences about one subject entity."""
+
+    page_id: int
+    subject_entity_id: int
+    split: str
+    sentences: list[Sentence]
+
+    def __post_init__(self) -> None:
+        if self.split not in SPLITS:
+            raise CorpusError(f"unknown split {self.split!r}")
+
+
+class Corpus:
+    """Container for pages with split-indexed sentence access."""
+
+    def __init__(self, pages: list[Page]) -> None:
+        self.pages = pages
+        self._by_split: dict[str, list[Sentence]] = {split: [] for split in SPLITS}
+        for page in pages:
+            self._by_split[page.split].extend(page.sentences)
+
+    def sentences(self, split: str | None = None) -> list[Sentence]:
+        """Sentences of one split, or all sentences in page order."""
+        if split is None:
+            return [s for split_name in SPLITS for s in self._by_split[split_name]]
+        if split not in SPLITS:
+            raise CorpusError(f"unknown split {split!r}")
+        return list(self._by_split[split])
+
+    def iter_tokens(self) -> Iterator[list[str]]:
+        """Yield every sentence's token list, page order."""
+        for page in self.pages:
+            for sentence in page.sentences:
+                yield sentence.tokens
+
+    def num_mentions(self, split: str | None = None, include_weak: bool = True) -> int:
+        """Count mentions, optionally restricted to a split."""
+        total = 0
+        for sentence in self.sentences(split):
+            total += len(sentence.mentions if include_weak else sentence.anchor_mentions)
+        return total
+
+    def replace_split_sentences(self, split: str, sentences: list[Sentence]) -> "Corpus":
+        """Return a new corpus with one split's sentences swapped.
+
+        Used by the weak-labeling pipeline, which augments training
+        sentences only. Sentences are matched positionally.
+        """
+        originals = self._by_split[split]
+        if len(sentences) != len(originals):
+            raise CorpusError(
+                f"expected {len(originals)} sentences for split {split!r}, "
+                f"got {len(sentences)}"
+            )
+        replacement = {s.sentence_id: s for s in sentences}
+        new_pages = []
+        for page in self.pages:
+            if page.split != split:
+                new_pages.append(page)
+                continue
+            new_sentences = [replacement.get(s.sentence_id, s) for s in page.sentences]
+            new_pages.append(
+                Page(
+                    page_id=page.page_id,
+                    subject_entity_id=page.subject_entity_id,
+                    split=page.split,
+                    sentences=new_sentences,
+                )
+            )
+        return Corpus(new_pages)

@@ -1,0 +1,484 @@
+"""Synthetic Wikipedia generator instantiating the four reasoning patterns.
+
+Each sentence is built from a pattern template (Section 2.1 of the
+paper):
+
+- *type affordance*: an affordance word of the gold entity's fine type
+  appears near the mention ("He **ordered** a Manhattan");
+- *KG relation*: two mentions whose gold entities share a KG triple,
+  plus an indicator word of the relation ("Where is Lincoln **in**
+  Logan County");
+- *type consistency*: a list of three or more mentions whose gold
+  entities share a fine type ("Is a Lincoln **or** Ford more
+  expensive?");
+- *entity memorization*: entity-specific cue words that co-occur with
+  one entity only ("Lincoln, **Nebraska**").
+
+Pages mirror Wikipedia structure: an intro sentence anchors the page's
+subject entity; later sentences refer to the subject by pronoun (for
+persons) or by an alternative name — *without* a label. Those references
+are the targets of :mod:`repro.weaklabel`, reproducing the paper's
+estimate that most entity references in Wikipedia are unlabeled.
+
+Splits are assigned at the page level (B.1). Entities flagged "unseen"
+in the world are never used as gold mentions in training pages, so they
+genuinely have zero training occurrences while still appearing (with
+candidates) in validation pages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError, CorpusError
+from repro.corpus.document import (
+    Corpus,
+    Mention,
+    Page,
+    PROVENANCE_ANCHOR,
+    Sentence,
+)
+from repro.kb.synthetic import World
+
+FUNCTION_WORDS = (
+    "the", "of", "a", "in", "and", "or", "was", "is", "to", "near", "for",
+    "at", "by", "with", "on",
+)
+
+PATTERN_AFFORDANCE = "affordance"
+PATTERN_KG_RELATION = "kg_relation"
+PATTERN_CONSISTENCY = "consistency"
+PATTERN_ENTITY_MEMO = "entity_memo"
+PATTERNS = (
+    PATTERN_AFFORDANCE,
+    PATTERN_KG_RELATION,
+    PATTERN_CONSISTENCY,
+    PATTERN_ENTITY_MEMO,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs for corpus generation."""
+
+    num_pages: int = 1200
+    min_sentences_per_page: int = 5
+    max_sentences_per_page: int = 9
+    # Probability of each pattern template per content sentence, in the
+    # order of :data:`PATTERNS`. Affordance dominates, matching the
+    # paper's coverage ordering (affordance >> KG relation > consistency).
+    pattern_mixture: tuple[float, ...] = (0.52, 0.22, 0.11, 0.15)
+    # Probability that a non-intro sentence references the page subject
+    # without a label (pronoun / alternate name) — weak-label targets.
+    subject_reference_prob: float = 0.55
+    # Probability of adding an entity cue word next to a mention in
+    # affordance/KG sentences (memorization signal for popular entities).
+    cue_word_prob: float = 0.5
+    # Probability a mention is rendered as the exact entity title rather
+    # than the ambiguous stem.
+    title_surface_prob: float = 0.12
+    # Number of affordance words emitted in an affordance sentence (real
+    # text usually affords a type through several content words).
+    affordance_words_per_sentence: int = 2
+    # Validation/test gold sampling mixes the Zipf popularity with a
+    # uniform distribution so tail/unseen entities are evaluated.
+    val_uniform_mix: float = 0.35
+    filler_vocab_size: int = 150
+    min_fillers: int = 2
+    max_fillers: int = 5
+    split_fractions: tuple[float, float, float] = (0.8, 0.1, 0.1)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_pages < 10:
+            raise ConfigError("need at least 10 pages")
+        if len(self.pattern_mixture) != len(PATTERNS):
+            raise ConfigError(f"pattern_mixture needs {len(PATTERNS)} entries")
+        if not np.isclose(sum(self.pattern_mixture), 1.0):
+            raise ConfigError("pattern_mixture must sum to 1")
+        if not np.isclose(sum(self.split_fractions), 1.0):
+            raise ConfigError("split_fractions must sum to 1")
+        if self.min_sentences_per_page < 2:
+            raise ConfigError("pages need at least 2 sentences")
+        if self.max_sentences_per_page < self.min_sentences_per_page:
+            raise ConfigError("max_sentences_per_page < min_sentences_per_page")
+
+
+class _SentenceBuilder:
+    """Accumulates token segments and mention spans for one sentence."""
+
+    def __init__(self) -> None:
+        self.tokens: list[str] = []
+        self.mentions: list[Mention] = []
+
+    def add_tokens(self, tokens: list[str]) -> None:
+        self.tokens.extend(tokens)
+
+    def add_mention(self, surface: str, gold_entity_id: int) -> None:
+        start = len(self.tokens)
+        self.tokens.append(surface)
+        self.mentions.append(
+            Mention(
+                start=start,
+                end=start + 1,
+                surface=surface,
+                gold_entity_id=gold_entity_id,
+                provenance=PROVENANCE_ANCHOR,
+            )
+        )
+
+
+class CorpusGenerator:
+    """Deterministic generator of a pattern-structured synthetic Wikipedia."""
+
+    def __init__(self, world: World, config: CorpusConfig | None = None) -> None:
+        self.world = world
+        self.config = config or CorpusConfig()
+        self.config.validate()
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, 846930886])
+        )
+        self._fillers = [f"w{i}" for i in range(self.config.filler_vocab_size)]
+        filler_weights = np.arange(1, len(self._fillers) + 1, dtype=np.float64) ** -1.0
+        self._filler_probs = filler_weights / filler_weights.sum()
+
+        n = world.num_entities
+        weights = world.mention_weights.astype(np.float64).copy()
+        self._pop_probs = weights / weights.sum()
+        seen_weights = weights.copy()
+        for entity_id in world.unseen_entity_ids:
+            seen_weights[entity_id] = 0.0
+        self._train_probs = seen_weights / seen_weights.sum()
+        uniform = np.full(n, 1.0 / n)
+        mix = self.config.val_uniform_mix
+        self._eval_probs = (1 - mix) * self._pop_probs + mix * uniform
+
+        kb = world.kb
+        self._entities = list(kb.entities())
+        self._typed_ids = np.array(
+            [e.entity_id for e in self._entities if e.type_ids], dtype=np.int64
+        )
+        self._triple_subjects = sorted(
+            {t.subject_id for t in world.kg.triples()}
+        )
+        self._triples_by_subject: dict[int, list] = {}
+        for triple in world.kg.triples():
+            self._triples_by_subject.setdefault(triple.subject_id, []).append(triple)
+        # Entities per fine type with at least 3 members (consistency lists).
+        self._type_members: dict[int, np.ndarray] = {}
+        for type_id in range(kb.num_types):
+            members = kb.entities_of_type(type_id)
+            if len(members) >= 3:
+                self._type_members[type_id] = np.array(members, dtype=np.int64)
+        if not self._type_members:
+            raise CorpusError("world has no type with >= 3 members")
+        type_pop = np.array(
+            [len(kb.entities_of_type(t)) for t in sorted(self._type_members)],
+            dtype=np.float64,
+        )
+        self._consistency_types = np.array(sorted(self._type_members), dtype=np.int64)
+        self._consistency_type_probs = type_pop / type_pop.sum()
+
+    # ------------------------------------------------------------------
+    # Sampling helpers
+    # ------------------------------------------------------------------
+    def _gold_probs(self, split: str) -> np.ndarray:
+        return self._train_probs if split == "train" else self._eval_probs
+
+    def _sample_gold(self, split: str, require_types: bool = False) -> int:
+        probs = self._gold_probs(split)
+        if require_types:
+            masked = probs.copy()
+            mask = np.zeros_like(masked, dtype=bool)
+            mask[self._typed_ids] = True
+            masked[~mask] = 0.0
+            masked = masked / masked.sum()
+            return int(self._rng.choice(len(masked), p=masked))
+        return int(self._rng.choice(len(probs), p=probs))
+
+    def _fillers_sample(self) -> list[str]:
+        count = int(
+            self._rng.integers(self.config.min_fillers, self.config.max_fillers + 1)
+        )
+        chosen = self._rng.choice(
+            len(self._fillers), size=count, p=self._filler_probs
+        )
+        words = [self._fillers[int(i)] for i in chosen]
+        # Mix in function words for surface realism.
+        if self._rng.random() < 0.7:
+            words.insert(
+                int(self._rng.integers(0, len(words) + 1)),
+                FUNCTION_WORDS[int(self._rng.integers(len(FUNCTION_WORDS)))],
+            )
+        return words
+
+    def _surface_for(self, entity_id: int) -> str:
+        entity = self._entities[entity_id]
+        if self._rng.random() < self.config.title_surface_prob:
+            return entity.title
+        return entity.mention_stem
+
+    def _add_year_token(self, entity_id: int, builder: _SentenceBuilder) -> None:
+        """Year-variant entities are only disambiguable via their year
+        token; it must accompany every mention of them."""
+        entity = self._entities[entity_id]
+        if entity.year:
+            builder.add_tokens([f"y{entity.year}"])
+
+    def _mention_extras(self, entity_id: int, builder: _SentenceBuilder) -> None:
+        """Emit year and cue tokens that travel with a mention."""
+        entity = self._entities[entity_id]
+        self._add_year_token(entity_id, builder)
+        if entity.cue_words and self._rng.random() < self.config.cue_word_prob:
+            cue = entity.cue_words[int(self._rng.integers(len(entity.cue_words)))]
+            builder.add_tokens([cue])
+
+    def _affordance_words(self, entity_id: int, count: int = 1) -> list[str]:
+        """Up to ``count`` affordance words of *one* of the entity's types."""
+        entity = self._entities[entity_id]
+        if not entity.type_ids:
+            return []
+        type_id = entity.type_ids[int(self._rng.integers(len(entity.type_ids)))]
+        words = self.world.kb.type_record(type_id).affordance_words
+        if not words:
+            return []
+        size = min(count, len(words))
+        chosen = self._rng.choice(len(words), size=size, replace=False)
+        return [words[int(i)] for i in chosen]
+
+    def _affordance_word(self, entity_id: int) -> str | None:
+        words = self._affordance_words(entity_id, 1)
+        return words[0] if words else None
+
+    # ------------------------------------------------------------------
+    # Pattern templates
+    # ------------------------------------------------------------------
+    def _build_affordance(self, split: str, builder: _SentenceBuilder) -> bool:
+        entity_id = self._sample_gold(split, require_types=True)
+        words = self._affordance_words(
+            entity_id, self.config.affordance_words_per_sentence
+        )
+        if not words:
+            return False
+        builder.add_tokens(self._fillers_sample())
+        builder.add_tokens([words[0]])
+        builder.add_mention(self._surface_for(entity_id), entity_id)
+        builder.add_tokens(words[1:])
+        self._mention_extras(entity_id, builder)
+        return True
+
+    def _build_kg_relation(self, split: str, builder: _SentenceBuilder) -> bool:
+        probs = self._gold_probs(split)
+        subject_probs = probs[self._triple_subjects]
+        total = subject_probs.sum()
+        if total <= 0:
+            return False
+        subject_probs = subject_probs / total
+        subject_id = int(
+            self._rng.choice(self._triple_subjects, p=subject_probs)
+        )
+        triples = self._triples_by_subject[subject_id]
+        triple = triples[int(self._rng.integers(len(triples)))]
+        if split == "train" and triple.object_id in self.world.unseen_entity_ids:
+            return False
+        relation = self.world.kb.relation_record(triple.relation_id)
+        if not relation.indicator_words:
+            return False
+        indicator = relation.indicator_words[
+            int(self._rng.integers(len(relation.indicator_words)))
+        ]
+        builder.add_tokens(self._fillers_sample())
+        builder.add_mention(self._surface_for(subject_id), subject_id)
+        self._mention_extras(subject_id, builder)
+        builder.add_tokens([indicator])
+        builder.add_mention(self._surface_for(triple.object_id), triple.object_id)
+        self._mention_extras(triple.object_id, builder)
+        return True
+
+    def _build_consistency(self, split: str, builder: _SentenceBuilder) -> bool:
+        type_id = int(
+            self._rng.choice(self._consistency_types, p=self._consistency_type_probs)
+        )
+        members = self._type_members[type_id]
+        probs = self._gold_probs(split)[members]
+        total = probs.sum()
+        if total <= 0 or (probs > 0).sum() < 3:
+            return False
+        probs = probs / total
+        chosen = self._rng.choice(members, size=3, replace=False, p=probs)
+        builder.add_tokens(self._fillers_sample())
+        word = self.world.kb.type_record(type_id).affordance_words
+        if word and self._rng.random() < 0.5:
+            builder.add_tokens([word[0]])
+        builder.add_mention(self._surface_for(int(chosen[0])), int(chosen[0]))
+        self._add_year_token(int(chosen[0]), builder)
+        builder.add_tokens([","])
+        builder.add_mention(self._surface_for(int(chosen[1])), int(chosen[1]))
+        self._add_year_token(int(chosen[1]), builder)
+        builder.add_tokens(["and" if self._rng.random() < 0.5 else "or"])
+        builder.add_mention(self._surface_for(int(chosen[2])), int(chosen[2]))
+        self._add_year_token(int(chosen[2]), builder)
+        return True
+
+    def _build_entity_memo(self, split: str, builder: _SentenceBuilder) -> bool:
+        entity_id = self._sample_gold(split)
+        entity = self._entities[entity_id]
+        builder.add_tokens(self._fillers_sample())
+        for cue in entity.cue_words:
+            builder.add_tokens([cue])
+        builder.add_mention(self._surface_for(entity_id), entity_id)
+        if entity.year:
+            builder.add_tokens([f"y{entity.year}"])
+        return True
+
+    _BUILDERS = {
+        PATTERN_AFFORDANCE: _build_affordance,
+        PATTERN_KG_RELATION: _build_kg_relation,
+        PATTERN_CONSISTENCY: _build_consistency,
+        PATTERN_ENTITY_MEMO: _build_entity_memo,
+    }
+
+    # ------------------------------------------------------------------
+    # Page assembly
+    # ------------------------------------------------------------------
+    def _subject_reference_tokens(self, subject_id: int) -> list[str]:
+        """Unlabeled reference to the page subject (weak-label target)."""
+        entity = self._entities[subject_id]
+        if entity.gender and self._rng.random() < 0.5:
+            pronoun = "he" if entity.gender == "m" else "she"
+            tokens = [pronoun]
+        else:
+            alias = entity.aliases[0] if entity.aliases else entity.title
+            tokens = [alias]
+        # Subject-flavored context so weak-labeled mentions carry signal.
+        if self._rng.random() < 0.5:
+            word = self._affordance_word(subject_id)
+            if word is not None:
+                tokens.append(word)
+        elif entity.cue_words:
+            tokens.append(
+                entity.cue_words[int(self._rng.integers(len(entity.cue_words)))]
+            )
+        return tokens
+
+    def _make_intro_sentence(
+        self, sentence_id: int, page_id: int, subject_id: int
+    ) -> Sentence:
+        builder = _SentenceBuilder()
+        builder.add_tokens(self._fillers_sample())
+        entity = self._entities[subject_id]
+        builder.add_mention(entity.mention_stem, subject_id)
+        self._add_year_token(subject_id, builder)
+        word = self._affordance_word(subject_id)
+        if word is not None:
+            builder.add_tokens([word])
+        for cue in entity.cue_words:
+            builder.add_tokens([cue])
+        return Sentence(
+            sentence_id=sentence_id,
+            page_id=page_id,
+            tokens=builder.tokens,
+            mentions=builder.mentions,
+            pattern=PATTERN_ENTITY_MEMO,
+        )
+
+    def _make_content_sentence(
+        self, sentence_id: int, page_id: int, subject_id: int, split: str
+    ) -> Sentence:
+        builder = _SentenceBuilder()
+        pattern_index = int(
+            self._rng.choice(len(PATTERNS), p=np.asarray(self.config.pattern_mixture))
+        )
+        pattern = PATTERNS[pattern_index]
+        built = self._BUILDERS[pattern](self, split, builder)
+        if not built:
+            builder = _SentenceBuilder()
+            pattern = PATTERN_ENTITY_MEMO
+            self._build_entity_memo(split, builder)
+        if self._rng.random() < self.config.subject_reference_prob:
+            builder.add_tokens(self._subject_reference_tokens(subject_id))
+        builder.add_tokens(self._fillers_sample())
+        return Sentence(
+            sentence_id=sentence_id,
+            page_id=page_id,
+            tokens=builder.tokens,
+            mentions=builder.mentions,
+            pattern=pattern,
+        )
+
+    def generate(self) -> Corpus:
+        """Generate the corpus (deterministic given world + config seeds)."""
+        config = self.config
+        n_pages = config.num_pages
+        n_train = int(round(config.split_fractions[0] * n_pages))
+        n_val = int(round(config.split_fractions[1] * n_pages))
+        splits = (
+            ["train"] * n_train
+            + ["val"] * n_val
+            + ["test"] * (n_pages - n_train - n_val)
+        )
+
+        # Page subjects: popularity-weighted without replacement; train
+        # pages must have seen subjects.
+        num_entities = self.world.num_entities
+        seen_ids = np.array(
+            [i for i in range(num_entities) if i not in self.world.unseen_entity_ids],
+            dtype=np.int64,
+        )
+        seen_probs = self._pop_probs[seen_ids] / self._pop_probs[seen_ids].sum()
+        train_subject_count = min(n_train, len(seen_ids))
+        train_subjects = self._rng.choice(
+            seen_ids, size=train_subject_count, replace=False, p=seen_probs
+        )
+        remaining = np.setdiff1d(np.arange(num_entities), train_subjects)
+        eval_count = min(n_pages - n_train, len(remaining))
+        remaining_probs = self._eval_probs[remaining]
+        remaining_probs = remaining_probs / remaining_probs.sum()
+        eval_subjects = self._rng.choice(
+            remaining, size=eval_count, replace=False, p=remaining_probs
+        )
+        subjects = np.concatenate([train_subjects, eval_subjects])
+        if len(subjects) < n_pages:
+            # More pages than entities: reuse popular subjects.
+            extra = self._rng.choice(
+                seen_ids, size=n_pages - len(subjects), replace=True, p=seen_probs
+            )
+            subjects = np.concatenate([subjects, extra])
+
+        pages: list[Page] = []
+        sentence_id = 0
+        for page_id in range(n_pages):
+            split = splits[page_id]
+            subject_id = int(subjects[page_id])
+            num_sentences = int(
+                self._rng.integers(
+                    config.min_sentences_per_page, config.max_sentences_per_page + 1
+                )
+            )
+            sentences = [
+                self._make_intro_sentence(sentence_id, page_id, subject_id)
+            ]
+            sentence_id += 1
+            for _ in range(num_sentences - 1):
+                sentences.append(
+                    self._make_content_sentence(
+                        sentence_id, page_id, subject_id, split
+                    )
+                )
+                sentence_id += 1
+            pages.append(
+                Page(
+                    page_id=page_id,
+                    subject_entity_id=subject_id,
+                    split=split,
+                    sentences=sentences,
+                )
+            )
+        return Corpus(pages)
+
+
+def generate_corpus(world: World, config: CorpusConfig | None = None) -> Corpus:
+    """Convenience wrapper over :class:`CorpusGenerator`."""
+    return CorpusGenerator(world, config).generate()

@@ -1,0 +1,101 @@
+"""Corpus persistence: save/load a corpus as JSON lines.
+
+Pages serialize one-per-line so large corpora stream; the format keeps
+full mention provenance so weak labels survive a round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.corpus.document import Corpus, Mention, Page, Sentence
+from repro.errors import SerializationError
+
+FORMAT_VERSION = 1
+
+
+def _page_to_dict(page: Page) -> dict:
+    return {
+        "page_id": page.page_id,
+        "subject_entity_id": page.subject_entity_id,
+        "split": page.split,
+        "sentences": [
+            {
+                "sentence_id": s.sentence_id,
+                "tokens": s.tokens,
+                "pattern": s.pattern,
+                "mentions": [
+                    {
+                        "start": m.start,
+                        "end": m.end,
+                        "surface": m.surface,
+                        "gold_entity_id": m.gold_entity_id,
+                        "provenance": m.provenance,
+                    }
+                    for m in s.mentions
+                ],
+            }
+            for s in page.sentences
+        ],
+    }
+
+
+def _page_from_dict(payload: dict) -> Page:
+    sentences = [
+        Sentence(
+            sentence_id=s["sentence_id"],
+            page_id=payload["page_id"],
+            tokens=list(s["tokens"]),
+            mentions=[
+                Mention(
+                    start=m["start"],
+                    end=m["end"],
+                    surface=m["surface"],
+                    gold_entity_id=m["gold_entity_id"],
+                    provenance=m["provenance"],
+                )
+                for m in s["mentions"]
+            ],
+            pattern=s.get("pattern", ""),
+        )
+        for s in payload["sentences"]
+    ]
+    return Page(
+        page_id=payload["page_id"],
+        subject_entity_id=payload["subject_entity_id"],
+        split=payload["split"],
+        sentences=sentences,
+    )
+
+
+def save_corpus(corpus: Corpus, path: str | Path) -> None:
+    """Write a corpus as JSON lines (header line + one page per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"version": FORMAT_VERSION, "num_pages": len(corpus.pages)}))
+        handle.write("\n")
+        for page in corpus.pages:
+            handle.write(json.dumps(_page_to_dict(page)))
+            handle.write("\n")
+
+
+def load_corpus(path: str | Path) -> Corpus:
+    """Read a corpus saved by :func:`save_corpus`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"corpus file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported corpus format version: {header.get('version')}"
+            )
+        pages = [_page_from_dict(json.loads(line)) for line in handle if line.strip()]
+    if len(pages) != header.get("num_pages"):
+        raise SerializationError(
+            f"corpus file truncated: header says {header.get('num_pages')} pages, "
+            f"found {len(pages)}"
+        )
+    return Corpus(pages)

@@ -1,0 +1,23 @@
+"""Whitespace tokenizer.
+
+The synthetic corpus is generated directly as token sequences, so the
+tokenizer's job is only to normalize free text at the annotator boundary
+(e.g. user-supplied sentences in :mod:`repro.core.annotator`).
+"""
+
+from __future__ import annotations
+
+import re
+
+_PUNCT = re.compile(r"([,.;:!?()])")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase, split punctuation into separate tokens, split whitespace."""
+    text = _PUNCT.sub(r" \1 ", text.lower())
+    return text.split()
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Join tokens with spaces (inverse only up to punctuation spacing)."""
+    return " ".join(tokens)

@@ -1,0 +1,107 @@
+"""Vocabulary with reserved special tokens.
+
+Index layout: ``<pad>=0, <unk>=1, <cls>=2, <sep>=3, <mask>=4``; content
+tokens follow in first-seen order (deterministic given a corpus).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import VocabularyError
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+CLS_TOKEN = "<cls>"
+SEP_TOKEN = "<sep>"
+MASK_TOKEN = "<mask>"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN)
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping."""
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    @classmethod
+    def build(cls, token_streams: Iterable[Iterable[str]], min_count: int = 1) -> "Vocabulary":
+        """Build a vocabulary from token streams (order-deterministic)."""
+        if min_count < 1:
+            raise VocabularyError(f"min_count must be >= 1, got {min_count}")
+        counts: dict[str, int] = {}
+        order: list[str] = []
+        for stream in token_streams:
+            for token in stream:
+                if token not in counts:
+                    order.append(token)
+                    counts[token] = 0
+                counts[token] += 1
+        vocab = cls()
+        for token in order:
+            if counts[token] >= min_count and token not in SPECIAL_TOKENS:
+                vocab._add(token)
+        return vocab
+
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token (0)."""
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        """Id of the unknown token (1)."""
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        """Id of the CLS token (2)."""
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        """Id of the SEP token (3)."""
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        """Id of the MASK token (4)."""
+        return self._token_to_id[MASK_TOKEN]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def encode_token(self, token: str) -> int:
+        """Token id, or ``unk_id`` for unknown tokens."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def encode(self, tokens: Iterable[str]) -> np.ndarray:
+        """Encode a token sequence to an int64 array."""
+        return np.array([self.encode_token(t) for t in tokens], dtype=np.int64)
+
+    def decode_id(self, token_id: int) -> str:
+        """Token string for ``token_id`` (raises on out-of-range)."""
+        if not 0 <= token_id < len(self._id_to_token):
+            raise VocabularyError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def decode(self, token_ids: Iterable[int]) -> list[str]:
+        """Decode a sequence of ids back to tokens."""
+        return [self.decode_id(int(i)) for i in token_ids]

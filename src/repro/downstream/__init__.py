@@ -1,0 +1,46 @@
+"""Downstream tasks: TACRED-style relation extraction and the
+Overton-style production simulation."""
+
+from repro.downstream.overton import (
+    OvertonConfig,
+    OvertonLocaleResult,
+    run_overton_locale,
+    run_overton_simulation,
+)
+from repro.downstream.relation_model import (
+    BootlegSignals,
+    RelationModel,
+    TacredBatch,
+    TacredDataset,
+    extract_bootleg_features,
+)
+from repro.downstream.tacred import (
+    NO_RELATION,
+    TacredConfig,
+    TacredExample,
+    TacredGenerator,
+    generate_tacred,
+    iter_labels,
+    split_examples,
+    tacred_micro_f1,
+)
+
+__all__ = [
+    "OvertonConfig",
+    "OvertonLocaleResult",
+    "run_overton_locale",
+    "run_overton_simulation",
+    "BootlegSignals",
+    "RelationModel",
+    "TacredBatch",
+    "TacredDataset",
+    "extract_bootleg_features",
+    "NO_RELATION",
+    "TacredConfig",
+    "TacredExample",
+    "TacredGenerator",
+    "generate_tacred",
+    "iter_labels",
+    "split_examples",
+    "tacred_micro_f1",
+]

@@ -1,0 +1,235 @@
+"""TACRED-style relation extraction dataset (Section 4.3, Appendix C).
+
+Each example is a sentence with a marked subject and object span; the
+task is to classify their relation (one of the world's KG relations) or
+``no_relation``. Examples come in two flavors:
+
+- *explicit*: a textual indicator word of the relation is present — a
+  text-only model can solve these;
+- *implicit*: no indicator word; the label is only recoverable by
+  disambiguating the (ambiguous) subject/object mentions and consulting
+  their KG connectivity — the cases where Bootleg's entity knowledge
+  pays off (Table 4's "cause of death" example).
+
+Negative examples pair entities with no KG edge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kb.synthetic import World
+
+NO_RELATION = 0
+
+
+@dataclasses.dataclass
+class TacredExample:
+    example_id: int
+    tokens: list[str]
+    subject_span: tuple[int, int]  # token span, end exclusive
+    object_span: tuple[int, int]
+    subject_entity_id: int  # gold (generation-time) entity, for analysis
+    object_entity_id: int
+    label: int  # 0 = no_relation, otherwise relation_id + 1
+    explicit: bool
+    split: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TacredConfig:
+    num_examples: int = 1000
+    explicit_fraction: float = 0.35
+    negative_fraction: float = 0.4
+    # Restrict positives to the most frequent relations (by triple count)
+    # so each label has enough examples to learn — the real TACRED has
+    # thousands of examples over 41 relations; our world is far smaller.
+    top_k_relations: int = 8
+    split_fractions: tuple[float, float, float] = (0.7, 0.15, 0.15)
+    min_fillers: int = 2
+    max_fillers: int = 4
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_examples < 20:
+            raise ConfigError("need at least 20 examples")
+        if not 0 <= self.negative_fraction < 1:
+            raise ConfigError("negative_fraction must be in [0, 1)")
+        if self.top_k_relations < 1:
+            raise ConfigError("top_k_relations must be >= 1")
+        if not np.isclose(sum(self.split_fractions), 1.0):
+            raise ConfigError("split_fractions must sum to 1")
+
+
+class TacredGenerator:
+    """Deterministic generator of relation-extraction examples."""
+
+    def __init__(self, world: World, config: TacredConfig | None = None) -> None:
+        self.world = world
+        self.config = config or TacredConfig()
+        self.config.validate()
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, 1957747793])
+        )
+        all_triples = world.kg.triples()
+        if not all_triples:
+            raise ConfigError("world has no triples to build examples from")
+        relation_counts: dict[int, int] = {}
+        for triple in all_triples:
+            relation_counts[triple.relation_id] = (
+                relation_counts.get(triple.relation_id, 0) + 1
+            )
+        top = sorted(relation_counts, key=relation_counts.get, reverse=True)
+        keep = set(top[: self.config.top_k_relations])
+        self._triples = [t for t in all_triples if t.relation_id in keep]
+        self._entities = list(world.kb.entities())
+        self._fillers = [f"w{i}" for i in range(80)]
+
+    # ------------------------------------------------------------------
+    def _filler(self, count: int) -> list[str]:
+        chosen = self._rng.choice(len(self._fillers), size=count)
+        return [self._fillers[int(i)] for i in chosen]
+
+    def _context_for(self, entity_id: int) -> list[str]:
+        """Disambiguating context words for a mention (affordance or cue)."""
+        entity = self._entities[entity_id]
+        words: list[str] = []
+        if entity.type_ids and self._rng.random() < 0.8:
+            type_id = entity.type_ids[int(self._rng.integers(len(entity.type_ids)))]
+            afford = self.world.kb.type_record(type_id).affordance_words
+            if afford:
+                words.append(afford[int(self._rng.integers(len(afford)))])
+        if not words and entity.cue_words:
+            words.append(
+                entity.cue_words[int(self._rng.integers(len(entity.cue_words)))]
+            )
+        return words
+
+    def _assemble(
+        self,
+        example_id: int,
+        subject_id: int,
+        object_id: int,
+        label: int,
+        indicator: str | None,
+        split: str,
+    ) -> TacredExample:
+        config = self.config
+        tokens: list[str] = []
+        tokens += self._filler(
+            int(self._rng.integers(config.min_fillers, config.max_fillers + 1))
+        )
+        tokens += self._context_for(subject_id)
+        subject_start = len(tokens)
+        tokens.append(self._entities[subject_id].mention_stem)
+        subject_span = (subject_start, subject_start + 1)
+        if indicator is not None:
+            tokens.append(indicator)
+        else:
+            tokens += self._filler(1)
+        tokens += self._context_for(object_id)
+        object_start = len(tokens)
+        tokens.append(self._entities[object_id].mention_stem)
+        object_span = (object_start, object_start + 1)
+        tokens += self._filler(
+            int(self._rng.integers(config.min_fillers, config.max_fillers + 1))
+        )
+        return TacredExample(
+            example_id=example_id,
+            tokens=tokens,
+            subject_span=subject_span,
+            object_span=object_span,
+            subject_entity_id=subject_id,
+            object_entity_id=object_id,
+            label=label,
+            explicit=indicator is not None,
+            split=split,
+        )
+
+    def _sample_negative_pair(self) -> tuple[int, int]:
+        n = self.world.num_entities
+        for _ in range(100):
+            a = int(self._rng.integers(n))
+            b = int(self._rng.integers(n))
+            if a != b and not self.world.kg.connected(a, b):
+                return a, b
+        raise ConfigError("could not sample a disconnected entity pair")
+
+    def generate(self) -> list[TacredExample]:
+        """Generate the configured number of examples."""
+        config = self.config
+        n = config.num_examples
+        n_train = int(round(config.split_fractions[0] * n))
+        n_val = int(round(config.split_fractions[1] * n))
+        splits = (
+            ["train"] * n_train + ["val"] * n_val + ["test"] * (n - n_train - n_val)
+        )
+        examples = []
+        for example_id in range(n):
+            split = splits[example_id]
+            if self._rng.random() < config.negative_fraction:
+                subject_id, object_id = self._sample_negative_pair()
+                example = self._assemble(
+                    example_id, subject_id, object_id, NO_RELATION, None, split
+                )
+            else:
+                triple = self._triples[int(self._rng.integers(len(self._triples)))]
+                relation = self.world.kb.relation_record(triple.relation_id)
+                explicit = self._rng.random() < config.explicit_fraction
+                indicator = None
+                if explicit and relation.indicator_words:
+                    indicator = relation.indicator_words[
+                        int(self._rng.integers(len(relation.indicator_words)))
+                    ]
+                example = self._assemble(
+                    example_id,
+                    triple.subject_id,
+                    triple.object_id,
+                    triple.relation_id + 1,
+                    indicator,
+                    split,
+                )
+            examples.append(example)
+        return examples
+
+
+def generate_tacred(world: World, config: TacredConfig | None = None) -> list[TacredExample]:
+    """Convenience wrapper over :class:`TacredGenerator`."""
+    return TacredGenerator(world, config).generate()
+
+
+def split_examples(
+    examples: Sequence[TacredExample], split: str
+) -> list[TacredExample]:
+    """Examples belonging to one split."""
+    return [e for e in examples if e.split == split]
+
+
+def iter_labels(world: World) -> Iterator[tuple[int, str]]:
+    """(label id, name) pairs: no_relation + every KG relation."""
+    yield NO_RELATION, "no_relation"
+    for relation in world.kb.relations():
+        yield relation.relation_id + 1, relation.name
+
+
+def tacred_micro_f1(
+    predicted: Sequence[int], gold: Sequence[int], no_relation: int = NO_RELATION
+) -> float:
+    """TACRED micro F1: no_relation predictions/golds are excluded from
+    the precision/recall denominators, matching the standard scorer."""
+    if len(predicted) != len(gold):
+        raise ConfigError("predicted and gold must have equal length")
+    correct = sum(
+        1 for p, g in zip(predicted, gold) if p == g and g != no_relation
+    )
+    num_predicted = sum(1 for p in predicted if p != no_relation)
+    num_gold = sum(1 for g in gold if g != no_relation)
+    precision = correct / num_predicted if num_predicted else 0.0
+    recall = correct / num_gold if num_gold else 0.0
+    if precision + recall == 0:
+        return 0.0
+    return 100.0 * 2 * precision * recall / (precision + recall)

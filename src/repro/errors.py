@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError` so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ShapeError(ReproError):
+    """A tensor or array had an unexpected shape."""
+
+
+class GradientError(ReproError):
+    """Backward pass was invoked in an invalid state."""
+
+
+class KnowledgeBaseError(ReproError):
+    """The knowledge base was queried or mutated inconsistently."""
+
+
+class UnknownEntityError(KnowledgeBaseError):
+    """An entity id was requested that is not present in the knowledge base."""
+
+    def __init__(self, entity_id: int) -> None:
+        super().__init__(f"unknown entity id: {entity_id}")
+        self.entity_id = entity_id
+
+
+class UnknownAliasError(KnowledgeBaseError):
+    """An alias was requested that has no candidate list."""
+
+    def __init__(self, alias: str) -> None:
+        super().__init__(f"unknown alias: {alias!r}")
+        self.alias = alias
+
+
+class CorpusError(ReproError):
+    """The corpus was constructed or consumed inconsistently."""
+
+
+class VocabularyError(CorpusError):
+    """A token lookup failed or the vocabulary is malformed."""
+
+
+class TrainingError(ReproError):
+    """The training loop encountered an unrecoverable state."""
+
+
+class SerializationError(ReproError):
+    """A model checkpoint could not be saved or loaded."""

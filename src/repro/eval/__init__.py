@@ -1,0 +1,39 @@
+"""Evaluation: metrics, popularity slices, pattern slices, error buckets."""
+
+from repro.eval.bootstrap import F1Interval, bootstrap_f1, f1_difference_significant
+from repro.eval.metrics import (
+    PRF,
+    evaluate_predictions,
+    filter_predictions,
+    micro_f1,
+    prf_from_counts,
+)
+from repro.eval.predictions import MentionPrediction
+from repro.eval.slices import (
+    DEFAULT_BIN_EDGES,
+    OccurrenceBin,
+    error_rate_by_rare_proportion,
+    f1_by_bucket,
+    f1_by_occurrence_bins,
+    mentions_by_bucket,
+    slice_by_bucket,
+)
+
+__all__ = [
+    "F1Interval",
+    "bootstrap_f1",
+    "f1_difference_significant",
+    "PRF",
+    "evaluate_predictions",
+    "filter_predictions",
+    "micro_f1",
+    "prf_from_counts",
+    "MentionPrediction",
+    "DEFAULT_BIN_EDGES",
+    "OccurrenceBin",
+    "error_rate_by_rare_proportion",
+    "f1_by_bucket",
+    "f1_by_occurrence_bins",
+    "mentions_by_bucket",
+    "slice_by_bucket",
+]

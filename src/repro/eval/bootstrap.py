@@ -1,0 +1,88 @@
+"""Bootstrap confidence intervals for micro F1.
+
+Our synthetic evaluation slices are small (tens to hundreds of
+mentions), so EXPERIMENTS.md reports percentile-bootstrap intervals
+alongside point estimates to make the noise floor explicit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.eval.metrics import filter_predictions
+from repro.eval.predictions import MentionPrediction
+
+
+@dataclasses.dataclass(frozen=True)
+class F1Interval:
+    point: float
+    low: float
+    high: float
+    num_mentions: int
+
+    def __str__(self) -> str:
+        return f"{self.point:.1f} [{self.low:.1f}, {self.high:.1f}] (n={self.num_mentions})"
+
+
+def bootstrap_f1(
+    predictions: Sequence[MentionPrediction],
+    num_samples: int = 1000,
+    alpha: float = 0.05,
+    seed: int = 0,
+    only_evaluable: bool = True,
+    exclude_weak: bool = True,
+) -> F1Interval:
+    """Percentile bootstrap interval for micro F1 (0-100 scale)."""
+    if not 0 < alpha < 1:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    if num_samples < 10:
+        raise ConfigError(f"need at least 10 bootstrap samples, got {num_samples}")
+    filtered = filter_predictions(predictions, only_evaluable, exclude_weak)
+    if not filtered:
+        return F1Interval(0.0, 0.0, 0.0, 0)
+    outcomes = np.array([p.correct for p in filtered], dtype=np.float64)
+    point = 100.0 * float(outcomes.mean())
+    rng = np.random.default_rng(seed)
+    n = len(outcomes)
+    indices = rng.integers(0, n, size=(num_samples, n))
+    resampled = 100.0 * outcomes[indices].mean(axis=1)
+    low, high = np.quantile(resampled, [alpha / 2, 1 - alpha / 2])
+    return F1Interval(point, float(low), float(high), n)
+
+
+def f1_difference_significant(
+    a: Sequence[MentionPrediction],
+    b: Sequence[MentionPrediction],
+    num_samples: int = 1000,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> tuple[float, bool]:
+    """Paired bootstrap on the F1 difference (a - b) over shared mentions.
+
+    Returns (mean difference on the 0-100 scale, significant?). Mentions
+    are paired by (sentence_id, mention_index); unpaired records are
+    ignored.
+    """
+    b_by_key = {
+        (p.sentence_id, p.mention_index): p for p in filter_predictions(b)
+    }
+    pairs = []
+    for prediction in filter_predictions(a):
+        other = b_by_key.get((prediction.sentence_id, prediction.mention_index))
+        if other is not None:
+            pairs.append((prediction.correct, other.correct))
+    if not pairs:
+        return 0.0, False
+    deltas = np.array([pa - pb for pa, pb in pairs], dtype=np.float64) * 100.0
+    rng = np.random.default_rng(seed)
+    n = len(deltas)
+    indices = rng.integers(0, n, size=(num_samples, n))
+    resampled = deltas[indices].mean(axis=1)
+    low, high = np.quantile(resampled, [alpha / 2, 1 - alpha / 2])
+    mean = float(deltas.mean())
+    significant = bool(low > 0 or high < 0)
+    return mean, significant

@@ -1,0 +1,151 @@
+"""Error-bucket analysis (Section 5, Table 8).
+
+The four buckets the paper identifies:
+
+- **granularity**: the prediction is a more general or more specific
+  entity than the gold (parent/child in the subclass structure);
+- **numerical**: the gold entity's title contains a year — disambiguation
+  requires reasoning over number tokens;
+- **multi-hop**: no gold pair in the sentence is directly connected in
+  the KG, but some pair shares an out-of-sentence neighbor (a 2-hop
+  witness Bootleg's single-hop KG module cannot exploit);
+- **exact-match**: the mention text is exactly the gold entity's title
+  (or shares a title keyword), yet the model predicts something else —
+  the failure the paper attributes to entity-embedding regularization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections.abc import Sequence
+
+from repro.corpus.document import Sentence
+from repro.eval.metrics import filter_predictions
+from repro.eval.predictions import MentionPrediction
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.knowledge_graph import KnowledgeGraph
+
+ERROR_BUCKETS = ("granularity", "numerical", "multi_hop", "exact_match")
+
+
+@dataclasses.dataclass
+class ErrorReport:
+    """Errors partitioned into the paper's buckets (non-exclusive)."""
+
+    total_errors: int
+    buckets: dict[str, list[MentionPrediction]]
+
+    def fraction(self, bucket: str) -> float:
+        if self.total_errors == 0:
+            return 0.0
+        return len(self.buckets[bucket]) / self.total_errors
+
+    def summary(self) -> dict[str, float]:
+        return {bucket: self.fraction(bucket) for bucket in ERROR_BUCKETS}
+
+
+def _is_granularity_error(
+    prediction: MentionPrediction, kb: KnowledgeBase
+) -> bool:
+    if prediction.predicted_entity_id < 0:
+        return False
+    gold = kb.entity(prediction.gold_entity_id)
+    predicted = kb.entity(prediction.predicted_entity_id)
+    return (
+        gold.parent_id == predicted.entity_id
+        or predicted.parent_id == gold.entity_id
+    )
+
+
+def _is_numerical_error(prediction: MentionPrediction, kb: KnowledgeBase) -> bool:
+    """Gold title contains a year (the paper's most common numerical
+    feature in a title); disambiguation suffix digits do not count."""
+    gold = kb.entity(prediction.gold_entity_id)
+    if gold.year != 0:
+        return True
+    return bool(re.search(r"(?:18|19|20)\d{2}", gold.title))
+
+
+def _sentence_has_multi_hop_witness(
+    sentence: Sentence, kg: KnowledgeGraph
+) -> bool:
+    golds = sorted({m.gold_entity_id for m in sentence.mentions})
+    if len(golds) < 2:
+        return False
+    present = set(golds)
+    any_direct = False
+    any_witness = False
+    for i, a in enumerate(golds):
+        for b in golds[i + 1 :]:
+            if kg.connected(a, b):
+                any_direct = True
+            elif kg.shared_neighbors(a, b) - present:
+                any_witness = True
+    return any_witness and not any_direct
+
+
+def _is_exact_match_error(prediction: MentionPrediction, kb: KnowledgeBase) -> bool:
+    gold = kb.entity(prediction.gold_entity_id)
+    return prediction.surface == gold.title
+
+
+def classify_errors(
+    predictions: Sequence[MentionPrediction],
+    kb: KnowledgeBase,
+    kg: KnowledgeGraph,
+    sentences_by_id: dict[int, Sentence],
+) -> ErrorReport:
+    """Bucket every incorrect (filtered) prediction."""
+    errors = [p for p in filter_predictions(predictions) if not p.correct]
+    buckets: dict[str, list[MentionPrediction]] = {b: [] for b in ERROR_BUCKETS}
+    multi_hop_cache: dict[int, bool] = {}
+    for prediction in errors:
+        if _is_granularity_error(prediction, kb):
+            buckets["granularity"].append(prediction)
+        if _is_numerical_error(prediction, kb):
+            buckets["numerical"].append(prediction)
+        sentence = sentences_by_id.get(prediction.sentence_id)
+        if sentence is not None:
+            if prediction.sentence_id not in multi_hop_cache:
+                multi_hop_cache[prediction.sentence_id] = (
+                    _sentence_has_multi_hop_witness(sentence, kg)
+                )
+            if multi_hop_cache[prediction.sentence_id]:
+                buckets["multi_hop"].append(prediction)
+        if _is_exact_match_error(prediction, kb):
+            buckets["exact_match"].append(prediction)
+    return ErrorReport(total_errors=len(errors), buckets=buckets)
+
+
+def exact_match_disagreements(
+    model_predictions: Sequence[MentionPrediction],
+    baseline_predictions: Sequence[MentionPrediction],
+    kb: KnowledgeBase,
+) -> dict[str, float]:
+    """Section 5's exact-match comparison: among mentions where the
+    baseline is correct but the model is wrong, what fraction are exact
+    title matches?
+
+    Both lists must cover the same mentions (same dataset, same order is
+    not required; records are matched by (sentence_id, mention_index)).
+    """
+    baseline_by_key = {
+        (p.sentence_id, p.mention_index): p
+        for p in filter_predictions(baseline_predictions)
+    }
+    lost = []
+    for prediction in filter_predictions(model_predictions):
+        key = (prediction.sentence_id, prediction.mention_index)
+        baseline = baseline_by_key.get(key)
+        if baseline is None:
+            continue
+        if baseline.correct and not prediction.correct:
+            lost.append(prediction)
+    if not lost:
+        return {"num_lost": 0, "exact_match_fraction": 0.0}
+    exact = sum(1 for p in lost if _is_exact_match_error(p, kb))
+    return {
+        "num_lost": len(lost),
+        "exact_match_fraction": exact / len(lost),
+    }

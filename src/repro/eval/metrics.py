@@ -1,0 +1,80 @@
+"""Micro-averaged precision / recall / F1 (Section 4.1).
+
+For the Wikipedia-style experiments every evaluable mention receives a
+prediction, so micro precision = recall = F1 = accuracy over the
+filtered mentions. For benchmark suites with mention detection, the
+denominators differ: precision is over mentions the system extracted,
+recall over mentions defined in the data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.eval.predictions import MentionPrediction
+
+
+@dataclasses.dataclass(frozen=True)
+class PRF:
+    precision: float
+    recall: float
+    f1: float
+    num_correct: int
+    num_predicted: int
+    num_gold: int
+
+    def as_row(self) -> tuple[float, float, float]:
+        """(P, R, F1) scaled to 0-100, paper-table style."""
+        return (100 * self.precision, 100 * self.recall, 100 * self.f1)
+
+
+def prf_from_counts(num_correct: int, num_predicted: int, num_gold: int) -> PRF:
+    precision = num_correct / num_predicted if num_predicted else 0.0
+    recall = num_correct / num_gold if num_gold else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return PRF(precision, recall, f1, num_correct, num_predicted, num_gold)
+
+
+def filter_predictions(
+    predictions: Iterable[MentionPrediction],
+    only_evaluable: bool = True,
+    exclude_weak: bool = True,
+) -> list[MentionPrediction]:
+    """Apply the paper's evaluation filters (Section 4.1)."""
+    out = []
+    for prediction in predictions:
+        if exclude_weak and prediction.is_weak:
+            continue
+        if only_evaluable and not prediction.evaluable:
+            continue
+        out.append(prediction)
+    return out
+
+
+def micro_f1(
+    predictions: Sequence[MentionPrediction],
+    only_evaluable: bool = True,
+    exclude_weak: bool = True,
+) -> float:
+    """Micro F1 over filtered mentions, scaled 0-100; 0.0 if empty."""
+    filtered = filter_predictions(predictions, only_evaluable, exclude_weak)
+    if not filtered:
+        return 0.0
+    correct = sum(1 for p in filtered if p.correct)
+    return 100.0 * correct / len(filtered)
+
+
+def evaluate_predictions(
+    predictions: Sequence[MentionPrediction],
+    only_evaluable: bool = True,
+    exclude_weak: bool = True,
+) -> PRF:
+    """PRF where every filtered mention receives a prediction."""
+    filtered = filter_predictions(predictions, only_evaluable, exclude_weak)
+    correct = sum(1 for p in filtered if p.correct)
+    return prf_from_counts(correct, len(filtered), len(filtered))

@@ -1,0 +1,183 @@
+"""Reasoning-pattern slices (Section 5).
+
+Each slice is *mined from structure*, exactly as the paper defines them —
+not read off the generator's template tags:
+
+- **Entity**: mentions whose gold entity has no type and no relation
+  signals (only textual cues can resolve them).
+- **Type consistency**: mentions inside a list of three or more
+  sequential distinct gold entities that all share at least one fine
+  type.
+- **KG relation**: mentions whose gold entity is connected in the KG to
+  another gold entity in the same sentence.
+- **Type affordance**: mentions whose sentence contains an affordance
+  keyword of the gold entity's type, where keywords are mined per type
+  as the top-TF-IDF tokens over training sentences of that type.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.corpus.document import Corpus, Sentence
+from repro.eval.predictions import MentionPrediction
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.knowledge_graph import KnowledgeGraph
+
+PATTERN_SLICES = ("entity", "consistency", "kg_relation", "affordance")
+
+# A mention key: (sentence_id, mention_index).
+MentionKey = tuple[int, int]
+
+
+def mine_affordance_keywords(
+    corpus: Corpus,
+    kb: KnowledgeBase,
+    split: str = "train",
+    top_k: int = 15,
+) -> dict[int, set[str]]:
+    """Top-``top_k`` TF-IDF keywords per fine type (Section 5).
+
+    A type's "document" is the concatenation of all training sentences in
+    which some gold mention carries the type. IDF is computed over types.
+    """
+    term_counts: dict[int, dict[str, int]] = {}
+    for sentence in corpus.sentences(split):
+        type_ids = {
+            type_id
+            for mention in sentence.mentions
+            for type_id in kb.entity(mention.gold_entity_id).type_ids
+        }
+        mention_positions = {
+            position
+            for mention in sentence.mentions
+            for position in range(mention.start, mention.end)
+        }
+        for type_id in type_ids:
+            bucket = term_counts.setdefault(type_id, {})
+            for position, token in enumerate(sentence.tokens):
+                if position in mention_positions:
+                    continue  # mention surfaces are not affordance words
+                bucket[token] = bucket.get(token, 0) + 1
+    num_types = max(1, len(term_counts))
+    doc_frequency: dict[str, int] = {}
+    for bucket in term_counts.values():
+        for token in bucket:
+            doc_frequency[token] = doc_frequency.get(token, 0) + 1
+    keywords: dict[int, set[str]] = {}
+    for type_id, bucket in term_counts.items():
+        scored = [
+            (count * math.log(num_types / (1 + doc_frequency[token])), token)
+            for token, count in bucket.items()
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        keywords[type_id] = {token for _, token in scored[:top_k]}
+    return keywords
+
+
+class PatternSlicer:
+    """Assigns mentions to the four reasoning-pattern slices."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        kg: KnowledgeGraph,
+        affordance_keywords: dict[int, set[str]],
+    ) -> None:
+        self.kb = kb
+        self.kg = kg
+        self.affordance_keywords = affordance_keywords
+
+    # ------------------------------------------------------------------
+    def _entity_slice(self, sentence: Sentence) -> set[int]:
+        members = set()
+        for index, mention in enumerate(sentence.mentions):
+            entity = self.kb.entity(mention.gold_entity_id)
+            if not entity.type_ids and not entity.relation_ids:
+                members.add(index)
+        return members
+
+    def _consistency_slice(self, sentence: Sentence) -> set[int]:
+        """Runs of >= 3 sequential distinct golds sharing a fine type."""
+        mentions = sentence.mentions
+        members: set[int] = set()
+        for start in range(len(mentions) - 2):
+            for end in range(start + 3, len(mentions) + 1):
+                window = mentions[start:end]
+                golds = [m.gold_entity_id for m in window]
+                if len(set(golds)) != len(golds):
+                    continue
+                shared = set(self.kb.entity(golds[0]).type_ids)
+                for gold in golds[1:]:
+                    shared &= set(self.kb.entity(gold).type_ids)
+                if shared:
+                    members.update(range(start, end))
+        return members
+
+    def _kg_slice(self, sentence: Sentence) -> set[int]:
+        mentions = sentence.mentions
+        members: set[int] = set()
+        for i in range(len(mentions)):
+            for j in range(i + 1, len(mentions)):
+                a, b = mentions[i].gold_entity_id, mentions[j].gold_entity_id
+                if a != b and self.kg.connected(a, b):
+                    members.add(i)
+                    members.add(j)
+        return members
+
+    def _affordance_slice(self, sentence: Sentence) -> set[int]:
+        tokens = set(sentence.tokens)
+        members: set[int] = set()
+        for index, mention in enumerate(sentence.mentions):
+            entity = self.kb.entity(mention.gold_entity_id)
+            for type_id in entity.type_ids:
+                keywords = self.affordance_keywords.get(type_id)
+                if keywords and keywords & tokens:
+                    members.add(index)
+                    break
+        return members
+
+    # ------------------------------------------------------------------
+    def slice_sentence(self, sentence: Sentence) -> dict[str, set[int]]:
+        """Mention indices per pattern slice for one sentence."""
+        return {
+            "entity": self._entity_slice(sentence),
+            "consistency": self._consistency_slice(sentence),
+            "kg_relation": self._kg_slice(sentence),
+            "affordance": self._affordance_slice(sentence),
+        }
+
+    def build_membership(
+        self, sentences: Iterable[Sentence]
+    ) -> dict[str, set[MentionKey]]:
+        """Pattern slice -> set of (sentence_id, mention_index) keys."""
+        membership: dict[str, set[MentionKey]] = {name: set() for name in PATTERN_SLICES}
+        for sentence in sentences:
+            for name, indices in self.slice_sentence(sentence).items():
+                for index in indices:
+                    membership[name].add((sentence.sentence_id, index))
+        return membership
+
+
+def slice_predictions(
+    predictions: Sequence[MentionPrediction],
+    membership: dict[str, set[MentionKey]],
+) -> dict[str, list[MentionPrediction]]:
+    """Partition predictions by pattern-slice membership (non-exclusive)."""
+    out: dict[str, list[MentionPrediction]] = {name: [] for name in membership}
+    for prediction in predictions:
+        key = (prediction.sentence_id, prediction.mention_index)
+        for name, keys in membership.items():
+            if key in keys:
+                out[name].append(prediction)
+    return out
+
+
+def slice_coverage(
+    membership: dict[str, set[MentionKey]], total_mentions: int
+) -> dict[str, float]:
+    """Fraction of mentions covered by each slice (Section 2 footnote)."""
+    if total_mentions <= 0:
+        return {name: 0.0 for name in membership}
+    return {name: len(keys) / total_mentions for name, keys in membership.items()}

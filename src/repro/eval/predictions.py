@@ -1,0 +1,37 @@
+"""Prediction records shared by trainers, metrics, and error analysis."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class MentionPrediction:
+    """One mention's disambiguation outcome.
+
+    Carries everything the paper's analyses need: the gold and predicted
+    entities, the candidate list with scores (for error analysis), and
+    filtering flags (``evaluable`` per Section 4.1, ``is_weak`` to
+    exclude weak labels from metrics).
+    """
+
+    sentence_id: int
+    mention_index: int
+    surface: str
+    gold_entity_id: int
+    predicted_entity_id: int
+    candidate_ids: np.ndarray  # (K,) with -1 padding
+    candidate_scores: np.ndarray  # (K,)
+    evaluable: bool
+    is_weak: bool
+    pattern: str = ""
+
+    @property
+    def correct(self) -> bool:
+        return self.predicted_entity_id == self.gold_entity_id
+
+    @property
+    def num_candidates(self) -> int:
+        return int((self.candidate_ids >= 0).sum())

@@ -1,0 +1,155 @@
+"""Popularity slices: head / torso / tail / unseen and occurrence bins.
+
+Slice membership follows Section 4.1: an entity's bucket is determined
+by its gold-mention count over training anchors *and* weak labels (that
+is what the model actually saw). Figure 1 (right) plots F1 against
+log-spaced occurrence bins; :func:`f1_by_occurrence_bins` reproduces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.corpus.stats import BUCKETS, EntityCounts
+from repro.eval.metrics import filter_predictions, micro_f1
+from repro.eval.predictions import MentionPrediction
+
+
+def slice_by_bucket(
+    predictions: Sequence[MentionPrediction],
+    counts: EntityCounts,
+) -> dict[str, list[MentionPrediction]]:
+    """Partition filtered predictions by the gold entity's bucket."""
+    slices: dict[str, list[MentionPrediction]] = {bucket: [] for bucket in BUCKETS}
+    for prediction in filter_predictions(predictions):
+        bucket = counts.bucket_of(prediction.gold_entity_id)
+        slices[bucket].append(prediction)
+    return slices
+
+
+def f1_by_bucket(
+    predictions: Sequence[MentionPrediction],
+    counts: EntityCounts,
+) -> dict[str, float]:
+    """Micro F1 per bucket plus "all" (Table 2 row shape)."""
+    slices = slice_by_bucket(predictions, counts)
+    result = {
+        bucket: micro_f1(slices[bucket], only_evaluable=False, exclude_weak=False)
+        for bucket in BUCKETS
+    }
+    result["all"] = micro_f1(predictions)
+    return result
+
+
+def mentions_by_bucket(
+    predictions: Sequence[MentionPrediction],
+    counts: EntityCounts,
+) -> dict[str, int]:
+    slices = slice_by_bucket(predictions, counts)
+    out = {bucket: len(slices[bucket]) for bucket in BUCKETS}
+    out["all"] = sum(out.values())
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class OccurrenceBin:
+    low: int  # inclusive
+    high: int  # inclusive; -1 = unbounded
+    f1: float
+    num_mentions: int
+
+    @property
+    def label(self) -> str:
+        if self.high < 0:
+            return f">={self.low}"
+        if self.low == self.high:
+            return str(self.low)
+        return f"{self.low}-{self.high}"
+
+
+DEFAULT_BIN_EDGES = (0, 1, 3, 10, 30, 100, 300)
+
+
+def f1_by_occurrence_bins(
+    predictions: Sequence[MentionPrediction],
+    counts: EntityCounts,
+    edges: Sequence[int] = DEFAULT_BIN_EDGES,
+) -> list[OccurrenceBin]:
+    """F1 per occurrence bin (Figure 1 right).
+
+    ``edges`` are lower bounds; bin i covers [edges[i], edges[i+1]-1],
+    the last bin is unbounded above.
+    """
+    filtered = filter_predictions(predictions)
+    bins: list[OccurrenceBin] = []
+    edges = list(edges)
+    for i, low in enumerate(edges):
+        high = edges[i + 1] - 1 if i + 1 < len(edges) else -1
+        members = [
+            p
+            for p in filtered
+            if counts.count(p.gold_entity_id) >= low
+            and (high < 0 or counts.count(p.gold_entity_id) <= high)
+        ]
+        f1 = micro_f1(members, only_evaluable=False, exclude_weak=False)
+        bins.append(OccurrenceBin(low=low, high=high, f1=f1, num_mentions=len(members)))
+    return bins
+
+
+def error_rate_by_rare_proportion(
+    predictions: Sequence[MentionPrediction],
+    counts: EntityCounts,
+    group_of_entity: dict[int, list[int]],
+    num_bins: int = 4,
+) -> list[tuple[float, float, int]]:
+    """Figure 4: error rate vs. the rare-entity proportion of a group.
+
+    ``group_of_entity`` maps a group id (a type or a relation) to its
+    member entity ids. Each prediction is assigned the *maximum*
+    rare-proportion over the gold entity's groups; predictions are then
+    binned by that proportion.
+
+    Returns ``(bin_center, error_rate, num_mentions)`` rows.
+    """
+    rare = {
+        bucket_id
+        for bucket in ("tail", "unseen")
+        for bucket_id in counts.bucket_ids(bucket)
+    }
+    proportion_of_group: dict[int, float] = {}
+    for group_id, members in group_of_entity.items():
+        if members:
+            proportion_of_group[group_id] = sum(
+                1 for m in members if m in rare
+            ) / len(members)
+    entity_groups: dict[int, list[int]] = {}
+    for group_id, members in group_of_entity.items():
+        for member in members:
+            entity_groups.setdefault(member, []).append(group_id)
+
+    filtered = filter_predictions(predictions)
+    assigned: list[tuple[float, bool]] = []
+    for prediction in filtered:
+        groups = entity_groups.get(prediction.gold_entity_id)
+        if not groups:
+            continue
+        proportion = max(proportion_of_group[g] for g in groups)
+        assigned.append((proportion, prediction.correct))
+    if not assigned:
+        return []
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    rows = []
+    for i in range(num_bins):
+        low, high = edges[i], edges[i + 1]
+        members = [
+            correct
+            for proportion, correct in assigned
+            if (proportion >= low and (proportion < high or (i == num_bins - 1)))
+        ]
+        if members:
+            error = 1.0 - sum(members) / len(members)
+            rows.append((float((low + high) / 2), float(error), len(members)))
+    return rows

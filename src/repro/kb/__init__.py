@@ -1,0 +1,46 @@
+"""Knowledge base substrate: entities, types, relations, KG, aliases.
+
+The synthetic-world generator (:func:`generate_world`) replaces the
+Wikidata/YAGO dumps the paper uses; see DESIGN.md for the substitution
+argument.
+"""
+
+from repro.kb.aliases import CandidateMap, normalize_alias
+from repro.kb.knowledge_base import PAD_ID, KnowledgeBase
+from repro.kb.knowledge_graph import (
+    KnowledgeGraph,
+    TwoHopKnowledgeGraph,
+    build_cooccurrence_graph,
+)
+from repro.kb.schema import (
+    COARSE_TYPES,
+    EntityRecord,
+    RelationRecord,
+    Triple,
+    TypeRecord,
+)
+from repro.kb.io import load_world, save_world, world_from_dict, world_to_dict
+from repro.kb.synthetic import World, WorldConfig, generate_world, zipf_weights
+
+__all__ = [
+    "CandidateMap",
+    "normalize_alias",
+    "PAD_ID",
+    "KnowledgeBase",
+    "KnowledgeGraph",
+    "TwoHopKnowledgeGraph",
+    "build_cooccurrence_graph",
+    "COARSE_TYPES",
+    "EntityRecord",
+    "RelationRecord",
+    "Triple",
+    "TypeRecord",
+    "load_world",
+    "save_world",
+    "world_from_dict",
+    "world_to_dict",
+    "World",
+    "WorldConfig",
+    "generate_world",
+    "zipf_weights",
+]

@@ -1,0 +1,107 @@
+"""Candidate maps (the paper's Γ): alias string → ranked entity candidates.
+
+Candidate lists are mined from anchor links and "also known as" fields
+(see :mod:`repro.candgen.mining`); this module is the storage and lookup
+layer. Candidates are ranked by a prior (anchor-link count), and lookups
+truncate to the top ``K``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KnowledgeBaseError, UnknownAliasError
+
+
+def normalize_alias(alias: str) -> str:
+    """Canonical form for alias lookup: lowercase, collapsed whitespace."""
+    return " ".join(alias.lower().split())
+
+
+class CandidateMap:
+    """Γ: maps each alias to scored candidate entities."""
+
+    def __init__(self) -> None:
+        self._candidates: dict[str, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, alias: str, entity_id: int, score: float = 1.0) -> None:
+        """Add (or boost) a candidate for ``alias``."""
+        if entity_id < 0:
+            raise KnowledgeBaseError(f"entity id must be non-negative, got {entity_id}")
+        if score < 0:
+            raise KnowledgeBaseError(f"candidate score must be non-negative, got {score}")
+        key = normalize_alias(alias)
+        if not key:
+            raise KnowledgeBaseError("alias must be non-empty")
+        bucket = self._candidates.setdefault(key, {})
+        bucket[entity_id] = bucket.get(entity_id, 0.0) + score
+
+    def merge(self, other: "CandidateMap") -> None:
+        """Fold another map's candidates into this one (scores add)."""
+        for alias, bucket in other._candidates.items():
+            target = self._candidates.setdefault(alias, {})
+            for entity_id, score in bucket.items():
+                target[entity_id] = target.get(entity_id, 0.0) + score
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, alias: str) -> bool:
+        return normalize_alias(alias) in self._candidates
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def aliases(self) -> list[str]:
+        return sorted(self._candidates)
+
+    def candidates(self, alias: str, k: int | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` (entity_id, score) candidates, best first.
+
+        Ties are broken by entity id for determinism. Raises
+        :class:`UnknownAliasError` if the alias has no entry.
+        """
+        key = normalize_alias(alias)
+        bucket = self._candidates.get(key)
+        if bucket is None:
+            raise UnknownAliasError(alias)
+        ranked = sorted(bucket.items(), key=lambda item: (-item[1], item[0]))
+        if k is not None:
+            ranked = ranked[:k]
+        return ranked
+
+    def candidate_ids(self, alias: str, k: int | None = None) -> list[int]:
+        """Top-``k`` candidate entity ids, best first."""
+        return [entity_id for entity_id, _ in self.candidates(alias, k)]
+
+    def get_candidates(self, alias: str, k: int | None = None) -> list[tuple[int, float]]:
+        """Like :meth:`candidates` but returns [] for unknown aliases."""
+        try:
+            return self.candidates(alias, k)
+        except UnknownAliasError:
+            return []
+
+    def ambiguity(self, alias: str) -> int:
+        """Number of candidates for ``alias`` (0 if unknown)."""
+        bucket = self._candidates.get(normalize_alias(alias))
+        return 0 if bucket is None else len(bucket)
+
+    def prior(self, alias: str, entity_id: int) -> float:
+        """Normalized prior P(entity | alias); 0.0 if absent."""
+        bucket = self._candidates.get(normalize_alias(alias))
+        if not bucket:
+            return 0.0
+        total = sum(bucket.values())
+        return bucket.get(entity_id, 0.0) / total if total > 0 else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used in corpus documentation and tests."""
+        if not self._candidates:
+            return {"num_aliases": 0, "mean_ambiguity": 0.0, "max_ambiguity": 0}
+        sizes = [len(bucket) for bucket in self._candidates.values()]
+        return {
+            "num_aliases": len(sizes),
+            "mean_ambiguity": sum(sizes) / len(sizes),
+            "max_ambiguity": max(sizes),
+        }

@@ -1,0 +1,153 @@
+"""World persistence: save/load a generated world as JSON.
+
+A downstream user can generate a world once, inspect or edit it, and
+reload it for training — the analogue of shipping entity/type/alias dump
+files with the real Bootleg release.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.kb.aliases import CandidateMap
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.knowledge_graph import KnowledgeGraph
+from repro.kb.schema import EntityRecord, RelationRecord, Triple, TypeRecord
+from repro.kb.synthetic import World, WorldConfig
+
+FORMAT_VERSION = 1
+
+
+def world_to_dict(world: World) -> dict:
+    """Serializable representation of a :class:`World`."""
+    candidate_entries = []
+    for alias in world.candidate_map.aliases():
+        for entity_id, score in world.candidate_map.candidates(alias):
+            candidate_entries.append([alias, entity_id, score])
+    return {
+        "version": FORMAT_VERSION,
+        "config": vars(world.config) | {
+            "coarse_mixture": list(world.config.coarse_mixture)
+        },
+        "entities": [
+            {
+                "entity_id": e.entity_id,
+                "title": e.title,
+                "mention_stem": e.mention_stem,
+                "aliases": list(e.aliases),
+                "type_ids": list(e.type_ids),
+                "coarse_type_id": e.coarse_type_id,
+                "relation_ids": list(e.relation_ids),
+                "gender": e.gender,
+                "year": e.year,
+                "parent_id": e.parent_id,
+                "cue_words": list(e.cue_words),
+            }
+            for e in world.kb.entities()
+        ],
+        "types": [
+            {
+                "type_id": t.type_id,
+                "name": t.name,
+                "coarse_type_id": t.coarse_type_id,
+                "affordance_words": list(t.affordance_words),
+            }
+            for t in world.kb.types()
+        ],
+        "relations": [
+            {
+                "relation_id": r.relation_id,
+                "name": r.name,
+                "indicator_words": list(r.indicator_words),
+                "subject_coarse": r.subject_coarse,
+                "object_coarse": r.object_coarse,
+            }
+            for r in world.kb.relations()
+        ],
+        "triples": [[t.subject_id, t.relation_id, t.object_id] for t in world.kg.triples()],
+        "candidates": candidate_entries,
+        "mention_weights": world.mention_weights.tolist(),
+        "unseen_entity_ids": sorted(world.unseen_entity_ids),
+    }
+
+
+def world_from_dict(payload: dict) -> World:
+    """Inverse of :func:`world_to_dict`."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported world format version: {version}")
+    config_payload = dict(payload["config"])
+    config_payload["coarse_mixture"] = tuple(config_payload["coarse_mixture"])
+    config = WorldConfig(**config_payload)
+    entities = [
+        EntityRecord(
+            entity_id=e["entity_id"],
+            title=e["title"],
+            mention_stem=e["mention_stem"],
+            aliases=tuple(e["aliases"]),
+            type_ids=tuple(e["type_ids"]),
+            coarse_type_id=e["coarse_type_id"],
+            relation_ids=tuple(e["relation_ids"]),
+            gender=e["gender"],
+            year=e["year"],
+            parent_id=e["parent_id"],
+            cue_words=tuple(e["cue_words"]),
+        )
+        for e in payload["entities"]
+    ]
+    types = [
+        TypeRecord(
+            type_id=t["type_id"],
+            name=t["name"],
+            coarse_type_id=t["coarse_type_id"],
+            affordance_words=tuple(t["affordance_words"]),
+        )
+        for t in payload["types"]
+    ]
+    relations = [
+        RelationRecord(
+            relation_id=r["relation_id"],
+            name=r["name"],
+            indicator_words=tuple(r["indicator_words"]),
+            subject_coarse=r["subject_coarse"],
+            object_coarse=r["object_coarse"],
+        )
+        for r in payload["relations"]
+    ]
+    kb = KnowledgeBase(entities, types, relations)
+    kg = KnowledgeGraph(
+        kb.num_entities,
+        [Triple(s, r, o) for s, r, o in payload["triples"]],
+    )
+    candidate_map = CandidateMap()
+    for alias, entity_id, score in payload["candidates"]:
+        candidate_map.add(alias, entity_id, score)
+    return World(
+        config=config,
+        kb=kb,
+        kg=kg,
+        candidate_map=candidate_map,
+        mention_weights=np.asarray(payload["mention_weights"]),
+        unseen_entity_ids=frozenset(payload["unseen_entity_ids"]),
+    )
+
+
+def save_world(world: World, path: str | Path) -> None:
+    """Write a world to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(world_to_dict(world), handle)
+
+
+def load_world(path: str | Path) -> World:
+    """Read a world saved by :func:`save_world`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"world file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        return world_from_dict(json.load(handle))

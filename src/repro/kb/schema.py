@@ -1,0 +1,161 @@
+"""Record types for the knowledge base: entities, types, relations.
+
+The schema mirrors the structural resources Bootleg consumes (Section 2
+and Appendix B):
+
+- entities with titles, alternative names ("also known as"), Wikidata-like
+  fine types, HYENA-like coarse types, and relation memberships;
+- a two-level type system (fine types grouped under five coarse types);
+- relations with textual indicator words (the cues that make the KG
+  relation pattern learnable, e.g. "in" for ``capital of``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+# The five coarse HYENA types used for mention-type prediction (B.1).
+COARSE_TYPES: tuple[str, ...] = (
+    "person",
+    "location",
+    "organization",
+    "artifact",
+    "event",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TypeRecord:
+    """A fine-grained (Wikidata-like) entity type.
+
+    Attributes
+    ----------
+    type_id:
+        Dense integer id, unique within a :class:`~repro.kb.KnowledgeBase`.
+    name:
+        Human-readable name, e.g. ``"car company"``.
+    coarse_type_id:
+        Index into :data:`COARSE_TYPES`.
+    affordance_words:
+        Words that natural language "affords" to entities of this type
+        (e.g. drinks are *ordered*, people have *heights*). The corpus
+        generator emits these words around mentions of this type and the
+        affordance slice miner should rediscover them via TF-IDF.
+    """
+
+    type_id: int
+    name: str
+    coarse_type_id: int
+    affordance_words: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.coarse_type_id < len(COARSE_TYPES):
+            raise ValueError(
+                f"coarse_type_id {self.coarse_type_id} out of range "
+                f"[0, {len(COARSE_TYPES)})"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class RelationRecord:
+    """A KG relation (Wikidata-property-like).
+
+    Attributes
+    ----------
+    relation_id:
+        Dense integer id.
+    name:
+        e.g. ``"capital of"``.
+    indicator_words:
+        Textual cues associated with the relation in sentences
+        (e.g. ``("capital", "in")``).
+    subject_coarse / object_coarse:
+        Coarse-type constraints for the subject/object of triples.
+    """
+
+    relation_id: int
+    name: str
+    indicator_words: tuple[str, ...] = ()
+    subject_coarse: int = 0
+    object_coarse: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class EntityRecord:
+    """An entity in the knowledge base.
+
+    Attributes
+    ----------
+    entity_id:
+        Dense integer id; 0..num_entities-1.
+    title:
+        Canonical unique title (the Wikipedia-page-title analogue).
+    mention_stem:
+        The ambiguous surface form this entity shares with its
+        confusables (the alias used in running text).
+    aliases:
+        Alternative names ("also known as"); used by candidate mining
+        and by the alternate-name weak labeler.
+    type_ids:
+        Fine type ids (up to T per entity; may be empty for the
+        "no structural signal" slice).
+    coarse_type_id:
+        Coarse HYENA-like type id.
+    relation_ids:
+        Ids of relations this entity participates in as a subject
+        (Bootleg's relation embeddings require only subject membership).
+    gender:
+        ``"m"``, ``"f"`` or ``""``; set for persons, used by the pronoun
+        weak labeler.
+    year:
+        A year attribute rendered into titles of "numerical" entities
+        (e.g. Olympic events); 0 if not applicable.
+    parent_id:
+        Entity id of a more general version of this entity (granularity
+        error bucket); -1 if none.
+    cue_words:
+        Entity-specific distinctive words (the memorization signal).
+    """
+
+    entity_id: int
+    title: str
+    mention_stem: str
+    aliases: tuple[str, ...] = ()
+    type_ids: tuple[int, ...] = ()
+    coarse_type_id: int = 0
+    relation_ids: tuple[int, ...] = ()
+    gender: str = ""
+    year: int = 0
+    parent_id: int = -1
+    cue_words: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.entity_id < 0:
+            raise ValueError(f"entity_id must be non-negative, got {self.entity_id}")
+        if self.gender not in ("", "m", "f"):
+            raise ValueError(f"gender must be '', 'm' or 'f', got {self.gender!r}")
+
+    @property
+    def surface_forms(self) -> tuple[str, ...]:
+        """All strings that may refer to this entity in text."""
+        return (self.mention_stem, *self.aliases)
+
+
+@dataclasses.dataclass(frozen=True)
+class Triple:
+    """A KG triple (subject, relation, object) over entity ids."""
+
+    subject_id: int
+    relation_id: int
+    object_id: int
+
+    def __iter__(self):
+        return iter((self.subject_id, self.relation_id, self.object_id))
+
+
+def validate_type_ids(type_ids: Sequence[int], num_types: int) -> None:
+    """Raise ``ValueError`` if any fine type id is out of range."""
+    for type_id in type_ids:
+        if not 0 <= type_id < num_types:
+            raise ValueError(f"type id {type_id} out of range [0, {num_types})")

@@ -1,0 +1,421 @@
+"""Synthetic Wikidata-like world generation.
+
+The paper trains on Wikipedia with Wikidata/YAGO structure. Offline, we
+generate a world with the same *statistical anatomy* (Sections 2, 5 and
+Appendix D of the paper):
+
+- Zipfian entity popularity, so most entities are tail entities.
+- A two-level type system: fine Wikidata-like types grouped under the
+  five coarse HYENA types, with their own Zipfian popularity that is
+  *independent* of entity popularity — this makes the entity-, type- and
+  relation-tails distinct (88%/90% of tail entities get non-tail
+  types/relations, as measured in Appendix D.1).
+- A relation vocabulary with textual indicator words and triples whose
+  subjects/objects satisfy coarse-type constraints.
+- Ambiguous mention stems: groups of entities share one surface form, so
+  every evaluated mention has ≥ 2 candidates and resolving it requires
+  type/relation/context reasoning, not string matching.
+- Special entity populations for the paper's error analysis: year-variant
+  entities (numerical bucket), parent/child granularity pairs
+  (granularity bucket), entities with no structural signal (the "Entity"
+  reasoning-pattern slice), and gendered persons (pronoun weak labeling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kb.aliases import CandidateMap
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.knowledge_graph import KnowledgeGraph
+from repro.kb.schema import (
+    COARSE_TYPES,
+    EntityRecord,
+    RelationRecord,
+    Triple,
+    TypeRecord,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorldConfig:
+    """Knobs for the synthetic world.
+
+    The defaults produce a world of ~2,000 entities whose corpus (see
+    :mod:`repro.corpus.generator`) exhibits the paper's head/torso/tail
+    anatomy at laptop scale.
+    """
+
+    num_entities: int = 2000
+    num_fine_types: int = 40
+    num_relations: int = 24
+    types_per_entity: int = 3
+    max_relations_per_entity: int = 4
+    affordance_words_per_type: int = 4
+    indicator_words_per_relation: int = 2
+    cue_words_per_entity: int = 2
+    # Zipf exponents: entity popularity, type popularity, relation popularity.
+    entity_zipf: float = 1.05
+    type_zipf: float = 1.1
+    relation_zipf: float = 1.1
+    # Mention ambiguity: stems are shared by [min_ambiguity, max_ambiguity]
+    # entities.
+    min_ambiguity: int = 2
+    max_ambiguity: int = 5
+    # Fractions of the entity population for special sub-populations.
+    no_signal_fraction: float = 0.03
+    year_variant_fraction: float = 0.06
+    granularity_fraction: float = 0.04
+    unseen_fraction: float = 0.05
+    # Coarse-type mixture (person, location, organization, artifact, event).
+    coarse_mixture: tuple[float, ...] = (0.3, 0.25, 0.15, 0.15, 0.15)
+    # Average number of KG triples per entity.
+    triples_per_entity: float = 1.5
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_entities < 50:
+            raise ConfigError("need at least 50 entities for a meaningful world")
+        if not np.isclose(sum(self.coarse_mixture), 1.0):
+            raise ConfigError("coarse_mixture must sum to 1")
+        if len(self.coarse_mixture) != len(COARSE_TYPES):
+            raise ConfigError(
+                f"coarse_mixture must have {len(COARSE_TYPES)} entries"
+            )
+        if self.min_ambiguity < 2:
+            raise ConfigError("min_ambiguity must be >= 2 (mentions must be ambiguous)")
+        if self.max_ambiguity < self.min_ambiguity:
+            raise ConfigError("max_ambiguity must be >= min_ambiguity")
+        if self.num_fine_types < len(COARSE_TYPES):
+            raise ConfigError("need at least one fine type per coarse type")
+        for name in ("no_signal_fraction", "year_variant_fraction",
+                     "granularity_fraction", "unseen_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 0.5:
+                raise ConfigError(f"{name} must be in [0, 0.5), got {value}")
+
+
+@dataclasses.dataclass
+class World:
+    """A generated world: structure plus popularity scaffolding."""
+
+    config: WorldConfig
+    kb: KnowledgeBase
+    kg: KnowledgeGraph
+    candidate_map: CandidateMap
+    # Unnormalized Zipf mention weights per entity (corpus generator input).
+    mention_weights: np.ndarray
+    # Entities reserved for validation/test only (never gold in train pages).
+    unseen_entity_ids: frozenset[int]
+
+    @property
+    def num_entities(self) -> int:
+        return self.kb.num_entities
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Unnormalized Zipf weights ``rank^-exponent`` for ranks 1..n."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return ranks**-exponent
+
+
+def _make_types(config: WorldConfig, rng: np.random.Generator) -> list[TypeRecord]:
+    """Fine types partitioned across coarse types, each with affordance words."""
+    types: list[TypeRecord] = []
+    for type_id in range(config.num_fine_types):
+        coarse_id = type_id % len(COARSE_TYPES)
+        affordances = tuple(
+            f"afford{type_id}x{j}" for j in range(config.affordance_words_per_type)
+        )
+        types.append(
+            TypeRecord(
+                type_id=type_id,
+                name=f"{COARSE_TYPES[coarse_id]}_type_{type_id}",
+                coarse_type_id=coarse_id,
+                affordance_words=affordances,
+            )
+        )
+    return types
+
+
+def _make_relations(config: WorldConfig, rng: np.random.Generator) -> list[RelationRecord]:
+    relations: list[RelationRecord] = []
+    for relation_id in range(config.num_relations):
+        indicators = tuple(
+            f"rel{relation_id}x{j}"
+            for j in range(config.indicator_words_per_relation)
+        )
+        relations.append(
+            RelationRecord(
+                relation_id=relation_id,
+                name=f"relation_{relation_id}",
+                indicator_words=indicators,
+                # Round-robin subject types guarantee every coarse type has
+                # relations; objects are unconstrained by subjects.
+                subject_coarse=relation_id % len(COARSE_TYPES),
+                object_coarse=int(rng.integers(len(COARSE_TYPES))),
+            )
+        )
+    return relations
+
+
+def _sample_fine_types(
+    coarse_id: int,
+    fine_by_coarse: dict[int, list[int]],
+    type_weights: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> tuple[int, ...]:
+    """Sample ``count`` distinct fine types of the given coarse type,
+    proportional to global (Zipfian) type popularity."""
+    pool = fine_by_coarse[coarse_id]
+    weights = type_weights[pool]
+    probs = weights / weights.sum()
+    size = min(count, len(pool))
+    chosen = rng.choice(pool, size=size, replace=False, p=probs)
+    return tuple(int(t) for t in sorted(chosen))
+
+
+def generate_world(config: WorldConfig | None = None) -> World:
+    """Generate a deterministic synthetic world from ``config.seed``."""
+    config = config or WorldConfig()
+    config.validate()
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 1804289383]))
+
+    types = _make_types(config, rng)
+    relations = _make_relations(config, rng)
+    fine_by_coarse: dict[int, list[int]] = {c: [] for c in range(len(COARSE_TYPES))}
+    for record in types:
+        fine_by_coarse[record.coarse_type_id].append(record.type_id)
+
+    n = config.num_entities
+    # Entity popularity: id 0 is the most popular. The corpus generator
+    # samples gold mentions with these weights.
+    mention_weights = zipf_weights(n, config.entity_zipf)
+    type_weights = zipf_weights(config.num_fine_types, config.type_zipf)
+    relation_weights = zipf_weights(config.num_relations, config.relation_zipf)
+
+    # --- special sub-populations -------------------------------------
+    # Drawn from the unpopular half so they are tail/unseen-flavored,
+    # except granularity parents which can be anywhere.
+    all_ids = np.arange(n)
+    tail_half = all_ids[n // 2 :]
+    rng.shuffle(tail_half)
+    cursor = 0
+
+    def take(fraction: float) -> set[int]:
+        nonlocal cursor
+        count = int(round(fraction * n))
+        chosen = set(int(i) for i in tail_half[cursor : cursor + count])
+        cursor += count
+        return chosen
+
+    no_signal_ids = take(config.no_signal_fraction)
+    unseen_ids = take(config.unseen_fraction)
+    year_ids = take(config.year_variant_fraction)
+    granularity_child_ids = take(config.granularity_fraction)
+
+    # --- coarse types -------------------------------------------------
+    coarse_ids = rng.choice(
+        len(COARSE_TYPES), size=n, p=np.asarray(config.coarse_mixture)
+    )
+    # Year variants are events; makes the "title contains a year" slice
+    # coherent (Section 5, numerical bucket).
+    event_coarse = COARSE_TYPES.index("event")
+    person_coarse = COARSE_TYPES.index("person")
+    for entity_id in year_ids:
+        coarse_ids[entity_id] = event_coarse
+
+    # --- ambiguity groups (mention stems) ------------------------------
+    # Partition entities into stem groups. Mixing popularity ranks within a
+    # group makes popularity priors informative-but-fallible; mixing fine
+    # types makes type reasoning decisive.
+    order = np.arange(n)
+    rng.shuffle(order)
+    # Year variants share stems within year families; granularity children
+    # share a stem with their parent. Handle them first.
+    stem_of: dict[int, str] = {}
+    year_list = sorted(year_ids)
+    rng.shuffle(year_list)
+    year_values = (1960, 1964, 1968, 1972, 1976, 1980, 1984, 1988)
+    year_of: dict[int, int] = {}
+    family_size = 3
+    for family_index in range(0, len(year_list), family_size):
+        family = year_list[family_index : family_index + family_size]
+        stem = f"games{family_index // family_size}"
+        for slot, entity_id in enumerate(family):
+            stem_of[entity_id] = stem
+            year_of[entity_id] = year_values[slot % len(year_values)]
+
+    parent_of: dict[int, int] = {}
+    remaining = [int(i) for i in order if int(i) not in stem_of]
+    granularity_children = [e for e in remaining if e in granularity_child_ids]
+    non_special = [e for e in remaining if e not in granularity_child_ids]
+    # Pair each granularity child with a parent from the general pool.
+    for child in granularity_children:
+        if not non_special:
+            break
+        parent = non_special.pop()
+        parent_of[child] = parent
+        stem = f"broad{child}"
+        stem_of[child] = stem
+        stem_of[parent] = stem
+
+    # Remaining entities: group into stems of random ambiguity. Groups are
+    # drawn round-robin across coarse types so confusables differ in type
+    # (as real ambiguous names do: "Lincoln" the city / person / company),
+    # which makes type reasoning decisive rather than accidental.
+    rng.shuffle(non_special)
+    by_coarse: dict[int, list[int]] = {}
+    for entity_id in non_special:
+        by_coarse.setdefault(int(coarse_ids[entity_id]), []).append(entity_id)
+    coarse_order = sorted(by_coarse)
+    group_index = 0
+    while any(by_coarse.values()):
+        size = int(rng.integers(config.min_ambiguity, config.max_ambiguity + 1))
+        group: list[int] = []
+        start = int(rng.integers(len(coarse_order)))
+        offset = 0
+        while len(group) < size and any(by_coarse.values()):
+            coarse = coarse_order[(start + offset) % len(coarse_order)]
+            offset += 1
+            if by_coarse[coarse]:
+                group.append(by_coarse[coarse].pop())
+        stem = f"name{group_index}"
+        for entity_id in group:
+            stem_of[entity_id] = stem
+        group_index += 1
+
+    # --- entity records -------------------------------------------------
+    entities: list[EntityRecord] = []
+    suffix_counters: dict[str, int] = {}
+    genders = ("m", "f")
+    for entity_id in range(n):
+        coarse_id = int(coarse_ids[entity_id])
+        stem = stem_of[entity_id]
+        suffix = suffix_counters.get(stem, 0)
+        suffix_counters[stem] = suffix + 1
+        year = year_of.get(entity_id, 0)
+        if year:
+            title = f"{stem}_{year}"
+        else:
+            title = f"{stem}_{suffix}" if suffix else stem
+        if entity_id in no_signal_ids:
+            type_ids: tuple[int, ...] = ()
+            relation_ids: tuple[int, ...] = ()
+        else:
+            type_ids = _sample_fine_types(
+                coarse_id, fine_by_coarse, type_weights,
+                int(rng.integers(1, config.types_per_entity + 1)), rng,
+            )
+            # Entities participate only in relations whose subject type
+            # matches their coarse type (as in Wikidata: "occupation"
+            # applies to humans) — this is what makes relation membership
+            # an informative signal for the KG-only model.
+            compatible = [
+                r.relation_id
+                for r in relations
+                if r.subject_coarse == coarse_id
+            ]
+            if compatible:
+                compat_weights = relation_weights[compatible]
+                compat_probs = compat_weights / compat_weights.sum()
+                relation_count = int(
+                    rng.integers(1, config.max_relations_per_entity + 1)
+                )
+                relation_ids = tuple(
+                    int(r)
+                    for r in sorted(
+                        rng.choice(
+                            compatible,
+                            size=min(relation_count, len(compatible)),
+                            replace=False,
+                            p=compat_probs,
+                        )
+                    )
+                )
+            else:
+                relation_ids = ()
+        gender = str(rng.choice(genders)) if coarse_id == person_coarse else ""
+        aliases = (f"aka{entity_id}",)
+        cue_words = tuple(
+            f"cue{entity_id}x{j}" for j in range(config.cue_words_per_entity)
+        )
+        entities.append(
+            EntityRecord(
+                entity_id=entity_id,
+                title=title,
+                mention_stem=stem,
+                aliases=aliases,
+                type_ids=type_ids,
+                coarse_type_id=coarse_id,
+                relation_ids=relation_ids,
+                gender=gender,
+                year=year,
+                parent_id=parent_of.get(entity_id, -1),
+                cue_words=cue_words,
+            )
+        )
+
+    kb = KnowledgeBase(entities, types, relations)
+
+    # --- knowledge graph -------------------------------------------------
+    kg = KnowledgeGraph(n)
+    relation_lookup = {r.relation_id: r for r in relations}
+    num_triples = int(config.triples_per_entity * n)
+    entity_probs = mention_weights / mention_weights.sum()
+    subjects_with_relations = [e.entity_id for e in entities if e.relation_ids]
+    attempts = 0
+    while kg.num_triples < num_triples and attempts < num_triples * 20:
+        attempts += 1
+        subject_id = int(rng.choice(subjects_with_relations))
+        subject = entities[subject_id]
+        relation_id = int(rng.choice(subject.relation_ids))
+        relation = relation_lookup[relation_id]
+        # Object sampled popularity-weighted among entities of the
+        # relation's object coarse type.
+        object_pool = [
+            e.entity_id
+            for e in entities
+            if e.coarse_type_id == relation.object_coarse and e.entity_id != subject_id
+        ]
+        if not object_pool:
+            continue
+        pool_probs = entity_probs[object_pool]
+        pool_probs = pool_probs / pool_probs.sum()
+        object_id = int(rng.choice(object_pool, p=pool_probs))
+        kg.add_triple(Triple(subject_id, relation_id, object_id))
+    # Granularity pairs are connected by a subclass-like edge (relation 0).
+    for child, parent in parent_of.items():
+        kg.add_triple(Triple(child, 0, parent))
+
+    # --- candidate map (ground-truth Γ; the mined Γ is built by
+    # repro.candgen.mining from corpus anchors and must converge to this) --
+    candidate_map = CandidateMap()
+    stem_groups: dict[str, list[int]] = {}
+    for entity in entities:
+        stem_groups.setdefault(entity.mention_stem, []).append(entity.entity_id)
+    for entity in entities:
+        candidate_map.add(entity.mention_stem, entity.entity_id,
+                          score=float(mention_weights[entity.entity_id]))
+        for alias in entity.aliases:
+            candidate_map.add(alias, entity.entity_id, score=1.0)
+        # The exact title strongly points at its entity, but stem-mates are
+        # still plausible candidates (the paper's exact-match error bucket
+        # requires title mentions to remain ambiguous).
+        candidate_map.add(entity.title, entity.entity_id, score=10.0)
+        for mate in stem_groups[entity.mention_stem]:
+            if mate != entity.entity_id:
+                candidate_map.add(entity.title, mate, score=0.5)
+
+    return World(
+        config=config,
+        kb=kb,
+        kg=kg,
+        candidate_map=candidate_map,
+        mention_weights=mention_weights,
+        unseen_entity_ids=frozenset(unseen_ids),
+    )

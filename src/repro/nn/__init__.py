@@ -1,0 +1,65 @@
+"""From-scratch neural-network substrate (autograd on numpy).
+
+This package replaces PyTorch for this reproduction: a reverse-mode
+autodiff :class:`Tensor`, module system, layers, attention, transformer
+encoder, optimizers, losses and checkpointing.
+"""
+
+from repro.nn.attention import AdditiveAttention, MultiHeadAttention
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.loss import IGNORE_INDEX, accuracy, cross_entropy
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialize import (
+    load_module,
+    parameter_size_mb,
+    save_module,
+)
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from repro.nn.transformer import (
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    sinusoidal_position_encoding,
+)
+
+__all__ = [
+    "AdditiveAttention",
+    "MultiHeadAttention",
+    "MLP",
+    "Dropout",
+    "Embedding",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "IGNORE_INDEX",
+    "accuracy",
+    "cross_entropy",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "load_module",
+    "parameter_size_mb",
+    "save_module",
+    "Tensor",
+    "concat",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+    "where",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "sinusoidal_position_encoding",
+]

@@ -1,0 +1,67 @@
+"""Loss functions: cross-entropy over logits, with padding support.
+
+Bootleg's disambiguation loss is the cross-entropy of the candidate
+scores against the gold candidate index (Section 3.2); the auxiliary
+type-prediction loss is cross-entropy over coarse types (Appendix A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+
+IGNORE_INDEX = -100
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: int = IGNORE_INDEX,
+) -> Tensor:
+    """Mean cross-entropy of ``logits`` (``(..., C)``) against int targets.
+
+    Positions whose target equals ``ignore_index`` contribute nothing to
+    the loss or its gradient (used for padded mentions / tokens).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != logits.shape[:-1]:
+        raise ShapeError(
+            f"targets shape {targets.shape} does not match logits batch shape "
+            f"{logits.shape[:-1]}"
+        )
+    num_classes = logits.shape[-1]
+    valid = targets != ignore_index
+    count = int(valid.sum())
+    if count == 0:
+        # No supervised positions: return a zero that still connects to the
+        # graph so callers can add losses unconditionally.
+        return (logits * 0.0).sum()
+    safe_targets = np.where(valid, targets, 0)
+    if safe_targets.size and (safe_targets.min() < 0 or safe_targets.max() >= num_classes):
+        raise ShapeError(
+            f"target out of range [0, {num_classes}): "
+            f"min={safe_targets.min()}, max={safe_targets.max()}"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    flat = log_probs.reshape(-1, num_classes)
+    rows = np.arange(flat.shape[0])
+    picked = flat[rows, safe_targets.reshape(-1)]
+    masked = picked.masked_fill(~valid.reshape(-1), 0.0)
+    return masked.sum() * (-1.0 / count)
+
+
+def accuracy(
+    logits: Tensor | np.ndarray,
+    targets: np.ndarray,
+    ignore_index: int = IGNORE_INDEX,
+) -> float:
+    """Fraction of non-ignored positions where argmax equals the target."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    valid = targets != ignore_index
+    if not valid.any():
+        return 0.0
+    predictions = scores.argmax(axis=-1)
+    return float((predictions[valid] == targets[valid]).mean())

@@ -1,0 +1,139 @@
+"""Module/Parameter abstractions over :class:`repro.nn.tensor.Tensor`.
+
+A :class:`Module` owns named :class:`Parameter` leaves and child modules,
+mirroring the familiar torch-style API: ``parameters()``,
+``named_parameters()``, ``state_dict()`` / ``load_state_dict()``,
+``train()`` / ``eval()`` and ``zero_grad()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable leaf tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters are leaves regardless of the grad-enabled state at
+        # construction time.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically for optimization and
+    serialization.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for every trainable leaf."""
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+            elif isinstance(value, dict):
+                for sub_key, item in value.items():
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{sub_key}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{sub_key}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters, depth first."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module tree."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode & gradients
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Put the module tree into training mode (dropout active)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module tree into evaluation mode (dropout off)."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of every parameter array, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays saved by :meth:`state_dict` (strict name/shape match)."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise SerializationError(
+                f"state dict mismatch: missing={sorted(missing)!r}, "
+                f"unexpected={sorted(unexpected)!r}"
+            )
+        for name, array in state.items():
+            param = params[name]
+            array = np.asarray(array, dtype=param.data.dtype)
+            if array.shape != param.data.shape:
+                raise SerializationError(
+                    f"parameter {name!r} has shape {param.data.shape}, "
+                    f"checkpoint has {array.shape}"
+                )
+            param.data[...] = array
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,122 @@
+"""Optimizers: Adam (the paper's choice, Kingma & Ba) and SGD.
+
+Both operate on a fixed list of :class:`Parameter` objects and support
+global-norm gradient clipping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ConfigError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float((param.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in parameters:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Shared bookkeeping for optimizers."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias correction and optional weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,53 @@
+"""Checkpoint persistence for modules (npz with dotted parameter names)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.module import Module
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Save a module's state dict (and optional JSON metadata) to ``path``.
+
+    The file is a numpy ``.npz`` archive; metadata is stored under the
+    reserved key ``__metadata__``.
+    """
+    path = Path(path)
+    state = module.state_dict()
+    if "__metadata__" in state:
+        raise SerializationError("'__metadata__' is a reserved parameter name")
+    payload = dict(state)
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_module(module: Module, path: str | Path) -> dict:
+    """Load a checkpoint saved by :func:`save_module`; returns its metadata."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    raw_meta = arrays.pop("__metadata__", None)
+    module.load_state_dict(arrays)
+    if raw_meta is None:
+        return {}
+    return json.loads(raw_meta.tobytes().decode("utf-8"))
+
+
+def parameter_size_bytes(module: Module, bytes_per_weight: int = 4) -> int:
+    """Size of a module's parameters as if stored in float32 (paper convention)."""
+    return module.num_parameters() * bytes_per_weight
+
+
+def parameter_size_mb(module: Module, bytes_per_weight: int = 4) -> float:
+    """Parameter size in megabytes (1 MB = 2**20 bytes)."""
+    return parameter_size_bytes(module, bytes_per_weight) / float(2**20)

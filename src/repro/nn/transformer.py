@@ -1,0 +1,63 @@
+"""Transformer encoder building blocks and sinusoidal position encoding.
+
+Used by the MiniBERT context encoder (BERT substitute) and by the
+mention positional encoding of Appendix A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+def sinusoidal_position_encoding(max_len: int, dim: int) -> np.ndarray:
+    """The sin/cos positional encoding of Vaswani et al., shape (max_len, dim)."""
+    positions = np.arange(max_len)[:, None].astype(np.float64)
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    encoding = np.zeros((max_len, dim))
+    encoding[:, 0::2] = np.sin(positions * div)
+    encoding[:, 1::2] = np.cos(positions * div[: (dim - dim // 2)])
+    return encoding
+
+
+class TransformerEncoderLayer(Module):
+    """A single self-attention encoder layer (MHA already includes FF)."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.attention = MultiHeadAttention(hidden_dim, num_heads, rng, dropout=dropout)
+
+    def forward(self, x: Tensor, pad_mask: np.ndarray | None = None) -> Tensor:
+        return self.attention(x, key_mask=pad_mask)
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.layers = [
+            TransformerEncoderLayer(hidden_dim, num_heads, rng, dropout=dropout)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor, pad_mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, pad_mask=pad_mask)
+        return x

@@ -1,0 +1,6 @@
+"""Contextual text encoding: MiniBERT and MLM pretraining."""
+
+from repro.text.encoder import MiniBert
+from repro.text.pretrain import PretrainConfig, pretrain_mlm
+
+__all__ = ["MiniBert", "PretrainConfig", "pretrain_mlm"]

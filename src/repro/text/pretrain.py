@@ -1,0 +1,118 @@
+"""Masked-language-model pretraining for MiniBERT.
+
+Standard BERT-style MLM: 15% of non-pad tokens are selected; of those,
+80% are replaced by ``<mask>``, 10% by a random token, 10% kept; the
+model must reconstruct the originals. Pretraining gives the frozen
+encoder the distributional knowledge the paper gets from off-the-shelf
+BERT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.corpus.document import Corpus
+from repro.corpus.vocab import Vocabulary
+from repro.errors import ConfigError
+from repro.nn.loss import IGNORE_INDEX, cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.text.encoder import MiniBert
+
+
+@dataclasses.dataclass(frozen=True)
+class PretrainConfig:
+    epochs: int = 2
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    mask_prob: float = 0.15
+    max_tokens: int = 60
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not 0 < self.mask_prob < 1:
+            raise ConfigError(f"mask_prob must be in (0,1), got {self.mask_prob}")
+        if self.epochs < 0:
+            raise ConfigError("epochs must be non-negative")
+
+
+def _make_batches(
+    sentences: list[list[int]],
+    pad_id: int,
+    batch_size: int,
+    rng: np.random.Generator,
+):
+    order = np.arange(len(sentences))
+    rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = [sentences[int(i)] for i in order[start : start + batch_size]]
+        max_len = max(len(s) for s in chunk)
+        token_ids = np.full((len(chunk), max_len), pad_id, dtype=np.int64)
+        for i, sent in enumerate(chunk):
+            token_ids[i, : len(sent)] = sent
+        yield token_ids
+
+
+def _apply_mlm_mask(
+    token_ids: np.ndarray,
+    vocab: Vocabulary,
+    mask_prob: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (corrupted ids, targets) with IGNORE_INDEX at unmasked slots."""
+    corrupted = token_ids.copy()
+    targets = np.full_like(token_ids, IGNORE_INDEX)
+    candidates = token_ids != vocab.pad_id
+    selected = candidates & (rng.random(token_ids.shape) < mask_prob)
+    targets[selected] = token_ids[selected]
+    action = rng.random(token_ids.shape)
+    mask_slot = selected & (action < 0.8)
+    random_slot = selected & (action >= 0.8) & (action < 0.9)
+    corrupted[mask_slot] = vocab.mask_id
+    num_random = int(random_slot.sum())
+    if num_random:
+        # Random replacements come from the content-token range (ids >= 5
+        # skip the special tokens).
+        corrupted[random_slot] = rng.integers(5, len(vocab), size=num_random)
+    return corrupted, targets
+
+
+def pretrain_mlm(
+    encoder: MiniBert,
+    corpus: Corpus,
+    vocab: Vocabulary,
+    config: PretrainConfig | None = None,
+    split: str = "train",
+) -> list[float]:
+    """Pretrain ``encoder`` in place; returns per-epoch mean losses."""
+    config = config or PretrainConfig()
+    config.validate()
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 1681692777]))
+    sentences = [
+        vocab.encode(s.tokens[: config.max_tokens]).tolist()
+        for s in corpus.sentences(split)
+        if s.tokens
+    ]
+    if not sentences:
+        raise ConfigError(f"no sentences in split {split!r}")
+    optimizer = Adam(encoder.parameters(), lr=config.learning_rate)
+    encoder.train()
+    epoch_losses: list[float] = []
+    for _ in range(config.epochs):
+        losses = []
+        for token_ids in _make_batches(sentences, vocab.pad_id, config.batch_size, rng):
+            corrupted, targets = _apply_mlm_mask(token_ids, vocab, config.mask_prob, rng)
+            if (targets == IGNORE_INDEX).all():
+                continue
+            optimizer.zero_grad()
+            encoded = encoder(corrupted, pad_mask=token_ids == vocab.pad_id)
+            logits = encoder.logits_over_vocab(encoded)
+            loss = cross_entropy(logits, targets)
+            loss.backward()
+            clip_grad_norm(optimizer.parameters, 5.0)
+            optimizer.step()
+            losses.append(loss.item())
+        epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+    encoder.eval()
+    return epoch_losses

@@ -1,0 +1,13 @@
+"""Shared utilities: seeded RNG management, logging, tables."""
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.rng import RngStream, spawn_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "RngStream",
+    "spawn_rng",
+    "format_table",
+    "enable_console_logging",
+    "get_logger",
+]

@@ -1,0 +1,39 @@
+"""Library logging setup.
+
+Every module logs through the ``repro`` logger hierarchy; by default the
+library is silent (a :class:`logging.NullHandler` is attached), and
+:func:`enable_console_logging` switches on human-readable progress
+output for scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (e.g. ``get_logger("core.trainer")``)."""
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler with a compact format to the repro logger."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            logger.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)

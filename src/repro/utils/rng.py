@@ -1,0 +1,59 @@
+"""Deterministic random-number management.
+
+Every stochastic component of the library receives randomness from an
+explicit :class:`numpy.random.Generator`. This module centralizes the
+creation of independent, reproducible generators so that an experiment
+seeded once is deterministic end to end, no matter how its internal
+components are reordered.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def spawn_rng(seed: int, *labels: str) -> np.random.Generator:
+    """Create a generator that is independent per ``(seed, labels)`` pair.
+
+    Labels namespace the stream: ``spawn_rng(0, "corpus")`` and
+    ``spawn_rng(0, "model")`` are decorrelated, while repeated calls with
+    the same arguments return identically seeded generators.
+    """
+    if seed < 0:
+        raise ConfigError(f"seed must be non-negative, got {seed}")
+    # zlib.crc32 is stable across processes, unlike the built-in str hash.
+    label_entropy = [zlib.crc32(label.encode("utf-8")) for label in labels]
+    seq = np.random.SeedSequence([seed, *label_entropy])
+    return np.random.default_rng(seq)
+
+
+class RngStream:
+    """A labeled family of generators derived from one root seed.
+
+    Example
+    -------
+    >>> stream = RngStream(seed=7)
+    >>> rng_a = stream.get("corpus")
+    >>> rng_b = stream.get("model", "init")
+    """
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise ConfigError(f"seed must be non-negative, got {seed}")
+        self.seed = seed
+        self._cache: dict[tuple[str, ...], np.random.Generator] = {}
+
+    def get(self, *labels: str) -> np.random.Generator:
+        """Return the cached generator for ``labels``, creating it on first use."""
+        key = tuple(labels)
+        if key not in self._cache:
+            self._cache[key] = spawn_rng(self.seed, *labels)
+        return self._cache[key]
+
+    def fresh(self, *labels: str) -> np.random.Generator:
+        """Return a new, uncached generator for ``labels``."""
+        return spawn_rng(self.seed, *labels)

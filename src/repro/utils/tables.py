@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders them as aligned monospace tables so the output of a
+bench run can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = ".1f",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``float_fmt``; all other values use ``str``.
+    """
+    rendered = [[_render_cell(value, float_fmt) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Weak supervision over the training corpus (Section 3.3.2)."""
+
+from repro.weaklabel.alternate_names import label_alternate_names
+from repro.weaklabel.pipeline import WeakLabelReport, WeakLabeler, weak_label_corpus
+from repro.weaklabel.pronouns import PRONOUNS_BY_GENDER, label_pronouns
+
+__all__ = [
+    "label_alternate_names",
+    "WeakLabelReport",
+    "WeakLabeler",
+    "weak_label_corpus",
+    "PRONOUNS_BY_GENDER",
+    "label_pronouns",
+]

@@ -1,0 +1,51 @@
+"""Alternate-name weak labeling (heuristic 2 of Section 3.3.2).
+
+Labels occurrences of a page subject's known alternative names
+("also known as" aliases) in the sentences of that subject's page.
+Wikipedia text refers to the page entity by shortened or alternative
+names far more often than by linked anchors, so this heuristic is the
+main source of extra labels.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.document import Mention, PROVENANCE_ALIAS_WL, Page, Sentence
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def label_alternate_names(
+    page: Page, kb: KnowledgeBase
+) -> list[tuple[Sentence, list[Mention]]]:
+    """Find unlabeled alias mentions of the page subject.
+
+    Matches single-token aliases (our synthetic aliases are single
+    tokens) at positions not covered by an existing mention. Returns
+    ``(sentence, new_mentions)`` pairs; originals are not mutated.
+    """
+    subject = kb.entity(page.subject_entity_id)
+    aliases = set(subject.aliases)
+    if not aliases:
+        return []
+    results = []
+    for sentence in page.sentences:
+        labeled = {
+            index
+            for mention in sentence.mentions
+            for index in range(mention.start, mention.end)
+        }
+        new_mentions = []
+        for index, token in enumerate(sentence.tokens):
+            if index in labeled or token not in aliases:
+                continue
+            new_mentions.append(
+                Mention(
+                    start=index,
+                    end=index + 1,
+                    surface=token,
+                    gold_entity_id=subject.entity_id,
+                    provenance=PROVENANCE_ALIAS_WL,
+                )
+            )
+        if new_mentions:
+            results.append((sentence, new_mentions))
+    return results

@@ -1,0 +1,48 @@
+"""Pronoun weak labeling (heuristic 1 of Section 3.3.2).
+
+Labels pronouns that match the gender of a page's subject person as
+references to that person. Only operates on pages whose subject is a
+gendered person, and only on unlabeled token positions.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.document import Mention, PROVENANCE_PRONOUN_WL, Page, Sentence
+from repro.kb.knowledge_base import KnowledgeBase
+
+PRONOUNS_BY_GENDER = {"m": ("he", "him", "his"), "f": ("she", "her", "hers")}
+
+
+def label_pronouns(page: Page, kb: KnowledgeBase) -> list[tuple[Sentence, list[Mention]]]:
+    """Find pronoun mentions of the page subject.
+
+    Returns ``(sentence, new_mentions)`` pairs for sentences that gained
+    at least one weak label. The original sentences are not mutated.
+    """
+    subject = kb.entity(page.subject_entity_id)
+    if not subject.gender:
+        return []
+    pronouns = set(PRONOUNS_BY_GENDER[subject.gender])
+    results = []
+    for sentence in page.sentences:
+        labeled = {
+            index
+            for mention in sentence.mentions
+            for index in range(mention.start, mention.end)
+        }
+        new_mentions = []
+        for index, token in enumerate(sentence.tokens):
+            if index in labeled or token not in pronouns:
+                continue
+            new_mentions.append(
+                Mention(
+                    start=index,
+                    end=index + 1,
+                    surface=subject.mention_stem,
+                    gold_entity_id=subject.entity_id,
+                    provenance=PROVENANCE_PRONOUN_WL,
+                )
+            )
+        if new_mentions:
+            results.append((sentence, new_mentions))
+    return results

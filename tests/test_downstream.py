@@ -1,0 +1,184 @@
+"""Tests for the TACRED-style task, relation models, and Overton sim."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, Vocabulary, generate_corpus
+from repro.downstream import (
+    NO_RELATION,
+    RelationModel,
+    TacredConfig,
+    TacredDataset,
+    extract_bootleg_features,
+    generate_tacred,
+    iter_labels,
+    split_examples,
+    tacred_micro_f1,
+)
+from repro.errors import ConfigError
+from repro.kb import WorldConfig, generate_world
+from repro.corpus import build_vocabulary
+from repro.core import BootlegConfig, BootlegModel
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(num_entities=200, seed=9))
+
+
+@pytest.fixture(scope="module")
+def examples(world):
+    return generate_tacred(world, TacredConfig(num_examples=120, seed=3))
+
+
+@pytest.fixture(scope="module")
+def vocab(world, examples):
+    corpus = generate_corpus(world, CorpusConfig(num_pages=40, seed=9))
+    vocab = build_vocabulary(corpus)
+    # TACRED tokens use the same world vocabulary plus fillers; extend
+    # coverage by building over example tokens too.
+    return Vocabulary.build(
+        [s.tokens for s in corpus.sentences()] + [e.tokens for e in examples]
+    )
+
+
+class TestTacredGeneration:
+    def test_deterministic(self, world):
+        config = TacredConfig(num_examples=50, seed=1)
+        a = generate_tacred(world, config)
+        b = generate_tacred(world, config)
+        assert [e.tokens for e in a] == [e.tokens for e in b]
+
+    def test_label_range(self, world, examples):
+        num_labels = world.kb.num_relations + 1
+        for example in examples:
+            assert 0 <= example.label < num_labels
+
+    def test_positive_pairs_connected(self, world, examples):
+        for example in examples:
+            if example.label != NO_RELATION:
+                assert world.kg.connected(
+                    example.subject_entity_id, example.object_entity_id
+                )
+
+    def test_negative_pairs_disconnected(self, world, examples):
+        for example in examples:
+            if example.label == NO_RELATION:
+                assert not world.kg.connected(
+                    example.subject_entity_id, example.object_entity_id
+                )
+
+    def test_explicit_examples_contain_indicator(self, world, examples):
+        checked = 0
+        for example in examples:
+            if example.explicit and example.label != NO_RELATION:
+                relation = world.kb.relation_record(example.label - 1)
+                assert set(relation.indicator_words) & set(example.tokens)
+                checked += 1
+        assert checked > 3
+
+    def test_spans_point_at_mentions(self, world, examples):
+        for example in examples:
+            subject = world.kb.entity(example.subject_entity_id)
+            assert example.tokens[example.subject_span[0]] == subject.mention_stem
+
+    def test_splits(self, examples):
+        train = split_examples(examples, "train")
+        test = split_examples(examples, "test")
+        assert len(train) > len(test) > 0
+
+    def test_iter_labels(self, world):
+        labels = dict(iter_labels(world))
+        assert labels[0] == "no_relation"
+        assert len(labels) == world.kb.num_relations + 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TacredConfig(num_examples=5).validate()
+        with pytest.raises(ConfigError):
+            TacredConfig(negative_fraction=1.0).validate()
+
+
+class TestTacredScorer:
+    def test_perfect(self):
+        assert tacred_micro_f1([1, 2, 0], [1, 2, 0]) == pytest.approx(100.0)
+
+    def test_no_relation_excluded(self):
+        # Predicting no_relation everywhere scores 0 even if gold has some.
+        assert tacred_micro_f1([0, 0], [1, 0]) == 0.0
+
+    def test_partial(self):
+        # One correct positive, one spurious positive, one missed positive.
+        score = tacred_micro_f1([1, 2, 0], [1, 0, 3])
+        precision, recall = 1 / 2, 1 / 2
+        assert score == pytest.approx(100 * 2 * precision * recall / (precision + recall))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            tacred_micro_f1([1], [1, 2])
+
+
+class TestRelationModel:
+    def test_text_only_forward(self, vocab, examples):
+        dataset = TacredDataset(examples[:16], vocab)
+        model = RelationModel(vocab, num_labels=25, rng=np.random.default_rng(0))
+        batch = dataset.collate(examples[:8])
+        output = model(batch)
+        assert output.scores.shape == (8, 25)
+        assert np.isfinite(model.loss(batch, output).item())
+
+    def test_bootleg_features_required_when_configured(self, vocab, examples):
+        model = RelationModel(
+            vocab, num_labels=25, bootleg_dim=16, rng=np.random.default_rng(0)
+        )
+        dataset = TacredDataset(examples[:8], vocab)
+        batch = dataset.collate(examples[:8])
+        with pytest.raises(ConfigError):
+            model(batch)
+
+    def test_with_features_forward(self, vocab, examples):
+        features = {e.example_id: np.ones((2, 16)) for e in examples}
+        dataset = TacredDataset(examples[:8], vocab, bootleg_features=features)
+        model = RelationModel(
+            vocab, num_labels=25, bootleg_dim=16, rng=np.random.default_rng(0)
+        )
+        batch = dataset.collate(examples[:8])
+        output = model(batch)
+        assert output.scores.shape == (8, 25)
+
+    def test_batches_cover(self, vocab, examples):
+        dataset = TacredDataset(examples, vocab)
+        total = sum(batch.size for batch in dataset.batches(16))
+        assert total == len(examples)
+
+    def test_empty_collate_rejected(self, vocab, examples):
+        with pytest.raises(ConfigError):
+            TacredDataset(examples, vocab).collate([])
+
+
+class TestFeatureExtraction:
+    def test_extract_shapes_and_signals(self, world, vocab, examples):
+        model = BootlegModel(
+            BootlegConfig(num_candidates=4, dropout=0.0),
+            world.kb,
+            vocab,
+            entity_counts=np.ones(world.num_entities),
+        )
+        features, signals = extract_bootleg_features(
+            model, examples[:20], vocab, world.candidate_map, world,
+            num_candidates=4,
+        )
+        assert set(features) == {e.example_id for e in examples[:20]}
+        # Feature = contextual (H) + type payload + relation payload
+        # + 2 pairwise KG scalars.
+        expected_dim = (
+            model.config.hidden_dim
+            + model.config.type_dim
+            + model.config.relation_dim
+            + 2
+        )
+        for example in examples[:20]:
+            assert features[example.example_id].shape == (2, expected_dim)
+            signal = signals[example.example_id]
+            assert 0 <= signal.entity_proportion <= 1
+            assert 0 <= signal.type_proportion <= 1

@@ -1,0 +1,308 @@
+"""Tests for metrics, slices, pattern mining, and error buckets."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    EntityCounts,
+    generate_corpus,
+)
+from repro.eval import (
+    MentionPrediction,
+    evaluate_predictions,
+    f1_by_bucket,
+    f1_by_occurrence_bins,
+    filter_predictions,
+    micro_f1,
+    prf_from_counts,
+)
+from repro.eval.errors import (
+    ERROR_BUCKETS,
+    classify_errors,
+    exact_match_disagreements,
+)
+from repro.eval.patterns import (
+    PatternSlicer,
+    mine_affordance_keywords,
+    slice_coverage,
+    slice_predictions,
+)
+from repro.eval.slices import error_rate_by_rare_proportion
+from repro.kb import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(num_entities=300, seed=3))
+
+
+@pytest.fixture(scope="module")
+def corpus(world):
+    return generate_corpus(world, CorpusConfig(num_pages=150, seed=5))
+
+
+def make_prediction(
+    gold=1,
+    predicted=1,
+    sentence_id=0,
+    mention_index=0,
+    evaluable=True,
+    is_weak=False,
+    surface="x",
+    candidates=(1, 2),
+):
+    ids = np.array(list(candidates) + [-1] * (4 - len(candidates)))
+    return MentionPrediction(
+        sentence_id=sentence_id,
+        mention_index=mention_index,
+        surface=surface,
+        gold_entity_id=gold,
+        predicted_entity_id=predicted,
+        candidate_ids=ids,
+        candidate_scores=np.linspace(1, 0, 4),
+        evaluable=evaluable,
+        is_weak=is_weak,
+    )
+
+
+class TestMetrics:
+    def test_micro_f1_basic(self):
+        preds = [make_prediction(), make_prediction(predicted=2)]
+        assert micro_f1(preds) == pytest.approx(50.0)
+
+    def test_filters_weak_and_non_evaluable(self):
+        preds = [
+            make_prediction(),
+            make_prediction(predicted=2, is_weak=True),
+            make_prediction(predicted=2, evaluable=False),
+        ]
+        assert micro_f1(preds) == pytest.approx(100.0)
+        assert len(filter_predictions(preds)) == 1
+
+    def test_empty_is_zero(self):
+        assert micro_f1([]) == 0.0
+
+    def test_prf_from_counts(self):
+        prf = prf_from_counts(8, 10, 16)
+        assert prf.precision == pytest.approx(0.8)
+        assert prf.recall == pytest.approx(0.5)
+        assert prf.f1 == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+        assert prf.as_row()[2] == pytest.approx(100 * prf.f1)
+
+    def test_prf_zero_denominators(self):
+        prf = prf_from_counts(0, 0, 0)
+        assert prf.precision == 0.0 and prf.recall == 0.0 and prf.f1 == 0.0
+
+    def test_evaluate_predictions(self):
+        preds = [make_prediction(), make_prediction(predicted=2)]
+        prf = evaluate_predictions(preds)
+        assert prf.num_gold == 2
+        assert prf.f1 == pytest.approx(0.5)
+
+
+class TestBucketSlicing:
+    def test_f1_by_bucket_routing(self):
+        counts = EntityCounts(np.array([0, 5, 500, 2000]))
+        preds = [
+            make_prediction(gold=0, predicted=0),  # unseen, correct
+            make_prediction(gold=1, predicted=0),  # tail, wrong
+            make_prediction(gold=2, predicted=2),  # torso, correct
+            make_prediction(gold=3, predicted=3),  # head, correct
+        ]
+        result = f1_by_bucket(preds, counts)
+        assert result["unseen"] == pytest.approx(100.0)
+        assert result["tail"] == pytest.approx(0.0)
+        assert result["torso"] == pytest.approx(100.0)
+        assert result["head"] == pytest.approx(100.0)
+        assert result["all"] == pytest.approx(75.0)
+
+    def test_occurrence_bins(self):
+        counts = EntityCounts(np.array([0, 2, 50]))
+        preds = [
+            make_prediction(gold=0, predicted=0),
+            make_prediction(gold=1, predicted=2),
+            make_prediction(gold=2, predicted=2),
+        ]
+        bins = f1_by_occurrence_bins(preds, counts, edges=(0, 1, 10))
+        assert bins[0].num_mentions == 1 and bins[0].f1 == pytest.approx(100.0)
+        assert bins[1].num_mentions == 1 and bins[1].f1 == pytest.approx(0.0)
+        assert bins[2].num_mentions == 1
+        assert bins[2].label == ">=10"
+
+    def test_rare_proportion_rows(self):
+        counts = EntityCounts(np.array([0, 2, 500, 600]))
+        groups = {0: [0, 1], 1: [2, 3]}  # group 0 all rare, group 1 none
+        preds = [
+            make_prediction(gold=0, predicted=1),
+            make_prediction(gold=2, predicted=2),
+        ]
+        rows = error_rate_by_rare_proportion(preds, counts, groups, num_bins=2)
+        assert len(rows) == 2
+        low, high = rows
+        assert low[1] == pytest.approx(0.0)  # popular group: correct
+        assert high[1] == pytest.approx(1.0)  # rare group: error
+
+
+class TestAffordanceMining:
+    def test_recovers_generator_keywords(self, world, corpus):
+        keywords = mine_affordance_keywords(corpus, world.kb)
+        hits, total = 0, 0
+        for record in world.kb.types():
+            mined = keywords.get(record.type_id)
+            if mined is None:
+                continue
+            total += 1
+            if set(record.affordance_words) & mined:
+                hits += 1
+        assert total > 10
+        assert hits / total > 0.8
+
+    def test_keyword_counts_capped(self, world, corpus):
+        keywords = mine_affordance_keywords(corpus, world.kb, top_k=5)
+        assert all(len(v) <= 5 for v in keywords.values())
+
+
+class TestPatternSlicer:
+    @pytest.fixture(scope="class")
+    def slicer(self, world, corpus):
+        keywords = mine_affordance_keywords(corpus, world.kb)
+        return PatternSlicer(world.kb, world.kg, keywords)
+
+    @pytest.fixture(scope="class")
+    def membership(self, slicer, corpus):
+        return slicer.build_membership(corpus.sentences("val"))
+
+    def test_all_slices_populated(self, membership):
+        for name in ("consistency", "kg_relation", "affordance"):
+            assert membership[name], f"slice {name} is empty"
+
+    def test_affordance_is_largest_slice(self, membership):
+        assert len(membership["affordance"]) > len(membership["kg_relation"])
+        assert len(membership["kg_relation"]) > len(membership["consistency"])
+
+    def test_entity_slice_has_no_structural_signal(self, slicer, world, corpus):
+        membership = slicer.build_membership(corpus.sentences())
+        sentences = {s.sentence_id: s for s in corpus.sentences()}
+        for sentence_id, index in list(membership["entity"])[:20]:
+            mention = sentences[sentence_id].mentions[index]
+            entity = world.kb.entity(mention.gold_entity_id)
+            assert not entity.type_ids and not entity.relation_ids
+
+    def test_kg_slice_members_connected(self, slicer, world, corpus):
+        membership = slicer.build_membership(corpus.sentences())
+        sentences = {s.sentence_id: s for s in corpus.sentences()}
+        for sentence_id, index in list(membership["kg_relation"])[:20]:
+            sentence = sentences[sentence_id]
+            gold = sentence.mentions[index].gold_entity_id
+            others = [
+                m.gold_entity_id for i, m in enumerate(sentence.mentions) if i != index
+            ]
+            assert any(world.kg.connected(gold, other) for other in others if other != gold)
+
+    def test_consistency_slice_shares_type(self, slicer, world, corpus):
+        membership = slicer.build_membership(corpus.sentences())
+        sentences = {s.sentence_id: s for s in corpus.sentences()}
+        seen = 0
+        for sentence_id, index in membership["consistency"]:
+            sentence = sentences[sentence_id]
+            golds = [m.gold_entity_id for m in sentence.mentions]
+            assert len(golds) >= 3
+            seen += 1
+            if seen > 20:
+                break
+
+    def test_slice_predictions_routing(self, membership):
+        some_key = next(iter(membership["affordance"]))
+        preds = [
+            make_prediction(sentence_id=some_key[0], mention_index=some_key[1]),
+            make_prediction(sentence_id=10**9, mention_index=0),
+        ]
+        sliced = slice_predictions(preds, membership)
+        assert len(sliced["affordance"]) == 1
+
+    def test_slice_coverage(self, membership, corpus):
+        total = corpus.num_mentions("val")
+        coverage = slice_coverage(membership, total)
+        assert 0 < coverage["affordance"] <= 1.0
+        assert coverage["affordance"] > coverage["consistency"]
+
+
+class TestErrorBuckets:
+    def test_classify_errors_on_synthetic(self, world, corpus):
+        sentences = {s.sentence_id: s for s in corpus.sentences()}
+        # Build artificial errors for each bucket from world structure.
+        preds = []
+        # Granularity: a child predicted as its parent.
+        child = next(e for e in world.kb.entities() if e.parent_id >= 0)
+        preds.append(
+            make_prediction(
+                gold=child.entity_id,
+                predicted=child.parent_id,
+                surface=child.mention_stem,
+                candidates=(child.entity_id, child.parent_id),
+            )
+        )
+        # Numerical: a year entity predicted wrong.
+        year_entity = next(e for e in world.kb.entities() if e.year)
+        other = next(
+            e for e in world.kb.entities()
+            if e.mention_stem == year_entity.mention_stem
+            and e.entity_id != year_entity.entity_id
+        )
+        preds.append(
+            make_prediction(
+                gold=year_entity.entity_id,
+                predicted=other.entity_id,
+                surface=year_entity.mention_stem,
+                candidates=(year_entity.entity_id, other.entity_id),
+            )
+        )
+        # Exact match: surface equals gold title, prediction wrong.
+        entity = world.kb.entity(10)
+        preds.append(
+            make_prediction(
+                gold=entity.entity_id,
+                predicted=11,
+                surface=entity.title,
+                candidates=(entity.entity_id, 11),
+            )
+        )
+        report = classify_errors(preds, world.kb, world.kg, sentences)
+        assert report.total_errors == 3
+        assert len(report.buckets["granularity"]) >= 1
+        assert len(report.buckets["numerical"]) >= 1
+        assert len(report.buckets["exact_match"]) >= 1
+        summary = report.summary()
+        assert set(summary) == set(ERROR_BUCKETS)
+
+    def test_correct_predictions_not_counted(self, world, corpus):
+        sentences = {s.sentence_id: s for s in corpus.sentences()}
+        report = classify_errors(
+            [make_prediction()], world.kb, world.kg, sentences
+        )
+        assert report.total_errors == 0
+        assert report.fraction("numerical") == 0.0
+
+    def test_exact_match_disagreements(self, world):
+        entity = world.kb.entity(5)
+        key = dict(sentence_id=3, mention_index=1)
+        model = [
+            make_prediction(
+                gold=entity.entity_id, predicted=9, surface=entity.title, **key
+            )
+        ]
+        baseline = [
+            make_prediction(
+                gold=entity.entity_id, predicted=entity.entity_id,
+                surface=entity.title, **key,
+            )
+        ]
+        result = exact_match_disagreements(model, baseline, world.kb)
+        assert result["num_lost"] == 1
+        assert result["exact_match_fraction"] == pytest.approx(1.0)
+
+    def test_no_disagreements(self, world):
+        preds = [make_prediction()]
+        result = exact_match_disagreements(preds, preds, world.kb)
+        assert result["num_lost"] == 0

@@ -1,0 +1,310 @@
+"""Gradient checks and semantics tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError, ShapeError
+from repro.nn.tensor import Tensor, concat, no_grad, stack, where
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_grad(fn, array, eps=1e-6):
+    """Central-difference gradient of scalar fn with respect to array."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, *arrays, atol=1e-6):
+    """Compare autograd gradients against numerical ones for each input."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+    for tensor, array in zip(tensors, arrays):
+        expected = numerical_grad(
+            lambda: build_loss(*[Tensor(a) for a in arrays]).item(), array
+        )
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4,))
+        check_gradient(lambda x, y: (x + y).sum(), a, b)
+
+    def test_sub_broadcast(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 1))
+        check_gradient(lambda x, y: (x - y).sum(), a, b)
+
+    def test_mul(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(3, 4))
+        check_gradient(lambda x, y: (x * y).sum(), a, b)
+
+    def test_div(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(3, 4)) + 3.0
+        check_gradient(lambda x, y: (x / y).sum(), a, b)
+
+    def test_pow(self):
+        a = np.abs(RNG.normal(size=(3, 4))) + 0.5
+        check_gradient(lambda x: (x**2.5).sum(), a)
+
+    def test_neg(self):
+        a = RNG.normal(size=(5,))
+        check_gradient(lambda x: (-x).sum(), a)
+
+    def test_rsub_rdiv(self):
+        a = RNG.normal(size=(3,)) + 2.0
+        check_gradient(lambda x: (1.0 - x).sum(), a)
+        check_gradient(lambda x: (1.0 / x).sum(), a)
+
+    def test_scalar_mixing(self):
+        a = RNG.normal(size=(3,))
+        check_gradient(lambda x: (2.0 * x + 1.0).sum(), a)
+
+
+class TestMatmulGradients:
+    def test_2d(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_batched(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(2, 4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_broadcast_batched(self):
+        a = RNG.normal(size=(2, 3, 3, 4))
+        b = RNG.normal(size=(3, 4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_matrix_vector(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4,))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_batched_matrix_vector(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(4,))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_vector_matrix(self):
+        a = RNG.normal(size=(4,))
+        b = RNG.normal(size=(4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_vector_batched_matrix(self):
+        a = RNG.normal(size=(4,))
+        b = RNG.normal(size=(2, 4, 5))
+        check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_vector_vector(self):
+        a = RNG.normal(size=(4,))
+        b = RNG.normal(size=(4,))
+        check_gradient(lambda x, y: x @ y, a, b)
+
+
+class TestNonlinearityGradients:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "tanh", "sigmoid", "relu", "gelu"],
+    )
+    def test_elementwise(self, op):
+        a = RNG.normal(size=(3, 4)) + 0.05  # avoid relu kink at exactly 0
+        check_gradient(lambda x: getattr(x, op)().sum(), a)
+
+    def test_log(self):
+        a = np.abs(RNG.normal(size=(3, 4))) + 0.5
+        check_gradient(lambda x: x.log().sum(), a)
+
+    def test_sqrt(self):
+        a = np.abs(RNG.normal(size=(3,))) + 0.5
+        check_gradient(lambda x: x.sqrt().sum(), a)
+
+
+class TestReductionGradients:
+    def test_sum_axis(self):
+        a = RNG.normal(size=(3, 4, 5))
+        check_gradient(lambda x: (x.sum(axis=1) ** 2).sum(), a)
+
+    def test_sum_axis_keepdims(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda x: (x.sum(axis=0, keepdims=True) ** 2).sum(), a)
+
+    def test_mean(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda x: (x.mean(axis=-1) ** 2).sum(), a)
+
+    def test_max(self):
+        a = RNG.normal(size=(4, 5))
+        check_gradient(lambda x: x.max(axis=1).sum(), a)
+
+    def test_max_keepdims(self):
+        a = RNG.normal(size=(4, 5))
+        check_gradient(lambda x: x.max(axis=0, keepdims=True).sum(), a)
+
+    def test_var(self):
+        a = RNG.normal(size=(3, 6))
+        check_gradient(lambda x: x.var(axis=-1).sum(), a)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda x: (x.reshape(2, 6) ** 2).sum(), a)
+
+    def test_transpose(self):
+        a = RNG.normal(size=(2, 3, 4))
+        check_gradient(lambda x: (x.transpose(2, 0, 1) ** 2).sum(), a)
+
+    def test_swapaxes(self):
+        a = RNG.normal(size=(2, 3, 4))
+        check_gradient(lambda x: (x.swapaxes(-1, -2) ** 2).sum(), a)
+
+    def test_getitem(self):
+        a = RNG.normal(size=(5, 4))
+        check_gradient(lambda x: (x[1:3] ** 2).sum(), a)
+
+    def test_getitem_fancy(self):
+        a = RNG.normal(size=(5, 4))
+        idx = np.array([0, 2, 2, 4])
+        check_gradient(lambda x: (x[idx] ** 2).sum(), a)
+
+    def test_gather_rows(self):
+        a = RNG.normal(size=(6, 3))
+        idx = np.array([[0, 1], [5, 1]])
+        check_gradient(lambda x: (x.gather_rows(idx) ** 2).sum(), a)
+
+    def test_gather_rows_repeated_accumulates(self):
+        table = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = table.gather_rows(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(table.grad[0], [0.0, 0.0])
+
+    def test_concat(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 4))
+        check_gradient(lambda x, y: (concat([x, y], axis=1) ** 2).sum(), a, b)
+
+    def test_stack(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 3))
+        check_gradient(lambda x, y: (stack([x, y], axis=0) ** 2).sum(), a, b)
+
+    def test_where(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(3, 4))
+        mask = RNG.random((3, 4)) > 0.5
+        check_gradient(lambda x, y: (where(mask, x, y) ** 2).sum(), a, b)
+
+
+class TestSoftmaxGradients:
+    def test_softmax(self):
+        a = RNG.normal(size=(3, 5))
+        target = RNG.normal(size=(3, 5))
+        check_gradient(lambda x: (x.softmax(axis=-1) * target).sum(), a)
+
+    def test_log_softmax(self):
+        a = RNG.normal(size=(3, 5))
+        target = RNG.normal(size=(3, 5))
+        check_gradient(lambda x: (x.log_softmax(axis=-1) * target).sum(), a)
+
+    def test_softmax_axis0(self):
+        a = RNG.normal(size=(4, 3))
+        target = RNG.normal(size=(4, 3))
+        check_gradient(lambda x: (x.softmax(axis=0) * target).sum(), a)
+
+    def test_softmax_rows_sum_to_one(self):
+        a = Tensor(RNG.normal(size=(7, 9)))
+        out = a.softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(7), atol=1e-12)
+
+    def test_masked_fill(self):
+        a = RNG.normal(size=(3, 4))
+        mask = RNG.random((3, 4)) > 0.5
+        check_gradient(lambda x: (x.masked_fill(mask, -5.0) ** 2).sum(), a)
+
+
+class TestGraphSemantics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_backward_twice_accumulates(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        with pytest.raises(GradientError):
+            y.backward(np.array([1.0]))
+        assert x.grad is None
+
+    def test_detach(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+        w = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        (y * w).sum().backward()
+        assert x.grad is None
+        np.testing.assert_allclose(w.grad, [3.0, 6.0])
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(GradientError):
+            y.backward()
+
+    def test_backward_wrong_grad_shape(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ShapeError):
+            y.backward(np.ones(4))
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        ((a + b) * a).sum().backward()
+        # d/dx[(3x+4x)*3x] = d/dx 21x^2 = 42x = 84
+        np.testing.assert_allclose(x.grad, [84.0])
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones(3)).item()

@@ -1,0 +1,143 @@
+"""Tests for MiniBERT and MLM pretraining."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, build_vocabulary, generate_corpus
+from repro.errors import ConfigError
+from repro.kb import WorldConfig, generate_world
+from repro.text import MiniBert, PretrainConfig, pretrain_mlm
+from repro.text.pretrain import _apply_mlm_mask
+from repro.nn.loss import IGNORE_INDEX
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(num_entities=150, seed=11))
+
+
+@pytest.fixture(scope="module")
+def corpus(world):
+    return generate_corpus(world, CorpusConfig(num_pages=25, seed=11))
+
+
+@pytest.fixture(scope="module")
+def vocab(corpus):
+    return build_vocabulary(corpus)
+
+
+def make_encoder(vocab, seed=0):
+    return MiniBert(
+        vocab_size=len(vocab),
+        hidden_dim=32,
+        num_heads=4,
+        num_layers=1,
+        rng=np.random.default_rng(seed),
+        dropout=0.0,
+    )
+
+
+class TestMiniBert:
+    def test_output_shape(self, vocab):
+        encoder = make_encoder(vocab)
+        ids = np.zeros((2, 7), dtype=np.int64)
+        assert encoder(ids).shape == (2, 7, 32)
+
+    def test_position_sensitivity(self, vocab):
+        encoder = make_encoder(vocab)
+        encoder.eval()
+        ids = np.array([[5, 6], [6, 5]])
+        out = encoder(ids).data
+        # Same tokens, different order -> different representations.
+        assert not np.allclose(out[0, 0], out[1, 1])
+
+    def test_context_sensitivity(self, vocab):
+        encoder = make_encoder(vocab)
+        encoder.eval()
+        a = encoder(np.array([[5, 6, 7]])).data[0, 0]
+        b = encoder(np.array([[5, 8, 9]])).data[0, 0]
+        assert not np.allclose(a, b)
+
+    def test_pad_mask_blocks_context(self, vocab):
+        encoder = make_encoder(vocab)
+        encoder.eval()
+        ids_a = np.array([[5, 6, 0]])
+        ids_b = np.array([[5, 6, 9]])
+        mask = np.array([[False, False, True]])
+        out_a = encoder(ids_a, pad_mask=mask).data[0, :2]
+        out_b = encoder(ids_b, pad_mask=mask).data[0, :2]
+        np.testing.assert_allclose(out_a, out_b, atol=1e-10)
+
+    def test_freeze_blocks_gradients(self, vocab):
+        encoder = make_encoder(vocab).freeze()
+        out = encoder(np.array([[5, 6]]))
+        # The frozen output is detached: combining it with a live
+        # parameter must not route gradients into the encoder.
+        from repro.nn import Parameter
+
+        scale = Parameter(np.ones(1))
+        (out * scale).sum().backward()
+        assert encoder.token_embedding.weight.grad is None
+        assert scale.grad is not None
+
+    def test_max_len_enforced(self, vocab):
+        encoder = MiniBert(len(vocab), 32, 4, 1, np.random.default_rng(0), max_len=4)
+        with pytest.raises(ConfigError):
+            encoder(np.zeros((1, 5), dtype=np.int64))
+
+    def test_requires_2d_input(self, vocab):
+        with pytest.raises(ConfigError):
+            make_encoder(vocab)(np.zeros(3, dtype=np.int64))
+
+    def test_lm_head_shape(self, vocab):
+        encoder = make_encoder(vocab)
+        encoded = encoder(np.zeros((1, 4), dtype=np.int64))
+        logits = encoder.logits_over_vocab(encoded)
+        assert logits.shape == (1, 4, len(vocab))
+
+
+class TestMlmMasking:
+    def test_targets_only_at_selected(self, vocab):
+        rng = np.random.default_rng(0)
+        token_ids = rng.integers(5, len(vocab), size=(8, 20))
+        corrupted, targets = _apply_mlm_mask(token_ids, vocab, 0.3, rng)
+        selected = targets != IGNORE_INDEX
+        assert selected.any()
+        np.testing.assert_array_equal(targets[selected], token_ids[selected])
+        # Unselected positions are untouched.
+        np.testing.assert_array_equal(corrupted[~selected], token_ids[~selected])
+
+    def test_pad_never_selected(self, vocab):
+        rng = np.random.default_rng(1)
+        token_ids = np.full((4, 10), vocab.pad_id, dtype=np.int64)
+        _, targets = _apply_mlm_mask(token_ids, vocab, 0.5, rng)
+        assert (targets == IGNORE_INDEX).all()
+
+    def test_mask_token_used(self, vocab):
+        rng = np.random.default_rng(2)
+        token_ids = rng.integers(5, len(vocab), size=(20, 20))
+        corrupted, targets = _apply_mlm_mask(token_ids, vocab, 0.5, rng)
+        selected = targets != IGNORE_INDEX
+        assert (corrupted[selected] == vocab.mask_id).mean() > 0.5
+
+
+class TestPretraining:
+    def test_loss_decreases(self, corpus, vocab):
+        encoder = make_encoder(vocab)
+        losses = pretrain_mlm(
+            encoder, corpus, vocab,
+            PretrainConfig(epochs=3, batch_size=32, learning_rate=3e-3),
+        )
+        assert len(losses) == 3
+        assert losses[-1] < losses[0]
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            PretrainConfig(mask_prob=0.0).validate()
+
+    def test_empty_split_rejected(self, corpus, vocab):
+        encoder = make_encoder(vocab)
+        from repro.corpus.document import Corpus
+
+        with pytest.raises(ConfigError):
+            pretrain_mlm(encoder, Corpus([]), vocab, PretrainConfig(epochs=1))
