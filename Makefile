@@ -1,6 +1,6 @@
 # Convenience targets for the Bootleg reproduction.
 
-.PHONY: install test bench bench-fresh examples clean-cache
+.PHONY: install test bench bench-core bench-fresh examples clean-cache
 
 install:
 	pip install -e .
@@ -16,6 +16,12 @@ bench:
 
 bench-report:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Core microbenchmarks (forward pass, annotator throughput, collation)
+# with a JSON baseline for regression comparison.
+bench-core:
+	pytest benchmarks/bench_perf_core.py --benchmark-only \
+		--benchmark-json=benchmarks/bench_core_baseline.json
 
 # Drop all cached trained models so benches retrain from scratch.
 clean-cache:

@@ -10,16 +10,17 @@ the autograd substrate and the data pipeline.
 import numpy as np
 import pytest
 
-from repro.core import BootlegConfig, BootlegModel
+from repro.core import BootlegAnnotator, BootlegConfig, BootlegModel
 from repro.corpus import (
     CorpusConfig,
     EntityCounts,
     NedDataset,
     build_vocabulary,
+    detokenize,
     generate_corpus,
 )
 from repro.kb import WorldConfig, generate_world
-from repro.nn.tensor import no_grad
+from repro.nn.tensor import compute_dtype, no_grad
 
 
 @pytest.fixture(scope="module")
@@ -38,25 +39,92 @@ def perf_setup():
         entity_counts=counts.counts,
     )
     model.eval()
+    # Same weights cast to float32 for the fast-path benches.
+    model32 = BootlegModel(
+        BootlegConfig(num_candidates=6, dropout=0.0),
+        world.kb,
+        vocab,
+        entity_counts=counts.counts,
+    )
+    model32.load_state_dict(model.state_dict())
+    model32.half_precision()
+    model32.eval()
     batch = dataset.collate(dataset.encoded[:32])
+    texts = [
+        detokenize(list(s.tokens)) for s in corpus.sentences("test")[:16]
+    ]
     return {
         "world": world,
         "corpus": corpus,
         "vocab": vocab,
         "dataset": dataset,
         "model": model,
+        "model32": model32,
         "batch": batch,
+        "texts": texts,
     }
 
 
+def make_annotator(perf_setup, model):
+    world = perf_setup["world"]
+    return BootlegAnnotator(
+        model,
+        perf_setup["vocab"],
+        world.candidate_map,
+        world.kb,
+        kgs=[world.kg],
+        num_candidates=6,
+    )
+
+
 def test_forward_pass(benchmark, perf_setup):
+    """Baseline: float64 forward without the static payload cache."""
     model, batch = perf_setup["model"], perf_setup["batch"]
+    model.payload_cache_enabled = False
 
     def forward():
         with no_grad():
             return model(batch)
 
+    try:
+        benchmark(forward)
+    finally:
+        model.payload_cache_enabled = True
+
+
+def test_forward_pass_f32_cached(benchmark, perf_setup):
+    """Fast path: float32 compute with the cached static entity payload."""
+    model32, batch = perf_setup["model32"], perf_setup["batch"]
+
+    def forward():
+        with no_grad(), compute_dtype(np.float32):
+            return model32(batch)
+
     benchmark(forward)
+
+
+def test_annotate_sequential_f64(benchmark, perf_setup):
+    """Baseline annotator throughput: one float64 model call per text."""
+    annotator = make_annotator(perf_setup, perf_setup["model"])
+    texts = perf_setup["texts"]
+    perf_setup["model"].payload_cache_enabled = False
+
+    try:
+        benchmark(lambda: [annotator.annotate(text) for text in texts])
+    finally:
+        perf_setup["model"].payload_cache_enabled = True
+
+
+def test_annotate_batched_f32(benchmark, perf_setup):
+    """Fast-path annotator throughput: packed batches, float32, cache."""
+    annotator = make_annotator(perf_setup, perf_setup["model32"])
+    texts = perf_setup["texts"]
+
+    def run():
+        with compute_dtype(np.float32):
+            return annotator.annotate_batch(texts)
+
+    benchmark(run)
 
 
 def test_forward_backward(benchmark, perf_setup):

@@ -16,7 +16,13 @@ from repro.core.regularization import (
     SCHEME_NAMES,
     make_scheme,
 )
-from repro.core.trainer import EpochStats, TrainConfig, Trainer, predict
+from repro.core.trainer import (
+    EpochStats,
+    TrainConfig,
+    Trainer,
+    predict,
+    predict_batches,
+)
 
 __all__ = [
     "AnnotatedMention",
@@ -42,4 +48,5 @@ __all__ = [
     "TrainConfig",
     "Trainer",
     "predict",
+    "predict_batches",
 ]

@@ -3,21 +3,28 @@
 This is the "open-source system" surface of Bootleg: given a trained
 model and raw text, detect mentions (known aliases from Γ) or accept
 user-provided spans, and return the most likely entity per mention.
+
+Serving throughput comes from three things here: a token-keyed alias
+index built once at construction (mention detection probes one dict
+bucket per token instead of string-joining every span), a batched
+``annotate_batch`` that packs many documents into shared
+:class:`NedDataset` batches, and collation buffers reused across calls.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.trainer import predict
-from repro.corpus.dataset import NedDataset
+from repro.core.trainer import predict_batches
+from repro.corpus.dataset import CollateBuffers, NedDataset
 from repro.corpus.document import Corpus, Mention, Page, Sentence
 from repro.corpus.tokenizer import tokenize
 from repro.corpus.vocab import Vocabulary
 from repro.errors import ConfigError
-from repro.kb.aliases import CandidateMap
+from repro.kb.aliases import CandidateMap, normalize_alias
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.knowledge_graph import KnowledgeGraph
 
@@ -46,6 +53,8 @@ class BootlegAnnotator:
         kb: KnowledgeBase,
         kgs: list[KnowledgeGraph] | None = None,
         num_candidates: int = 6,
+        max_alias_tokens: int = 3,
+        batch_size: int = 32,
     ) -> None:
         self.model = model
         self.vocab = vocab
@@ -53,52 +62,106 @@ class BootlegAnnotator:
         self.kb = kb
         self.kgs = kgs or []
         self.num_candidates = num_candidates
+        self.max_alias_tokens = max_alias_tokens
+        self.batch_size = batch_size
+        self._collate_buffers = CollateBuffers()
+        self._alias_index = self._build_alias_index()
 
     # ------------------------------------------------------------------
+    def _build_alias_index(self) -> dict[str, list[tuple[str, ...]]]:
+        """First-token → alias token tuples, longest first.
+
+        Aliases in Γ are already normalized (lowercase, collapsed
+        whitespace), and the tokenizer lowercases, so token tuples match
+        exactly. Call :meth:`refresh_alias_index` after mutating the
+        candidate map.
+        """
+        index: dict[str, list[tuple[str, ...]]] = {}
+        for alias in self.candidate_map.aliases():
+            alias_tokens = tuple(alias.split())
+            if not alias_tokens or len(alias_tokens) > self.max_alias_tokens:
+                continue
+            index.setdefault(alias_tokens[0], []).append(alias_tokens)
+        for bucket in index.values():
+            bucket.sort(key=len, reverse=True)
+        return index
+
+    def refresh_alias_index(self) -> None:
+        """Rebuild the detection index after the candidate map changed."""
+        self._alias_index = self._build_alias_index()
+
     def detect_mentions(self, tokens: list[str]) -> list[tuple[int, int]]:
         """Greedy longest-match detection of known aliases (left to right)."""
         spans: list[tuple[int, int]] = []
+        lowered = [normalize_alias(token) for token in tokens]
+        num_tokens = len(tokens)
         position = 0
-        max_span = 3
-        while position < len(tokens):
-            matched = None
-            for length in range(min(max_span, len(tokens) - position), 0, -1):
-                surface = " ".join(tokens[position : position + length])
-                if self.candidate_map.ambiguity(surface) > 0:
-                    matched = (position, position + length)
+        while position < num_tokens:
+            matched_end = 0
+            for alias_tokens in self._alias_index.get(lowered[position], ()):
+                end = position + len(alias_tokens)
+                if end <= num_tokens and tuple(lowered[position:end]) == alias_tokens:
+                    matched_end = end
                     break
-            if matched:
-                spans.append(matched)
-                position = matched[1]
+            if matched_end:
+                spans.append((position, matched_end))
+                position = matched_end
             else:
                 position += 1
         return spans
 
+    # ------------------------------------------------------------------
     def annotate(
         self,
         text: str,
         mention_spans: list[tuple[int, int]] | None = None,
     ) -> list[AnnotatedMention]:
         """Disambiguate ``text``; spans are token-index pairs (end exclusive)."""
-        tokens = tokenize(text)
-        if not tokens:
-            raise ConfigError("cannot annotate empty text")
-        if mention_spans is None:
-            mention_spans = self.detect_mentions(tokens)
-        if not mention_spans:
-            return []
-        mentions = []
-        for start, end in mention_spans:
-            if not 0 <= start < end <= len(tokens):
-                raise ConfigError(f"invalid mention span ({start}, {end})")
-            surface = " ".join(tokens[start:end])
-            # Gold is unknown at inference; use a placeholder id of 0 — the
-            # dataset only uses it for supervision flags we ignore here.
-            mentions.append(Mention(start, end, surface, 0))
-        sentence = Sentence(0, 0, tokens, mentions)
-        corpus = Corpus([Page(0, 0, "test", [sentence])])
+        return self.annotate_batch([text], [mention_spans])[0]
+
+    def annotate_batch(
+        self,
+        texts: Sequence[str],
+        mention_spans: Sequence[list[tuple[int, int]] | None] | None = None,
+    ) -> list[list[AnnotatedMention]]:
+        """Disambiguate many documents in shared model batches.
+
+        ``mention_spans`` optionally supplies spans per document (None
+        entries fall back to detection). Returns one annotation list per
+        input text, in order — equal, mention for mention, to calling
+        :meth:`annotate` per text, but with one dataset build and packed
+        batches instead of a model call per document.
+        """
+        if mention_spans is not None and len(mention_spans) != len(texts):
+            raise ConfigError(
+                f"mention_spans has {len(mention_spans)} entries "
+                f"for {len(texts)} texts"
+            )
+        pages: list[Page] = []
+        spans_per_doc: list[list[tuple[int, int]]] = []
+        for doc_index, text in enumerate(texts):
+            tokens = tokenize(text)
+            if not tokens:
+                raise ConfigError("cannot annotate empty text")
+            spans = mention_spans[doc_index] if mention_spans is not None else None
+            if spans is None:
+                spans = self.detect_mentions(tokens)
+            mentions = []
+            for start, end in spans:
+                if not 0 <= start < end <= len(tokens):
+                    raise ConfigError(f"invalid mention span ({start}, {end})")
+                surface = " ".join(tokens[start:end])
+                # Gold is unknown at inference; use a placeholder id of 0 —
+                # the dataset only uses it for supervision flags we ignore.
+                mentions.append(Mention(start, end, surface, 0))
+            spans_per_doc.append(list(spans))
+            sentence = Sentence(doc_index, doc_index, tokens, mentions)
+            pages.append(Page(doc_index, 0, "test", [sentence]))
+        results: list[list[AnnotatedMention]] = [[] for _ in texts]
+        if not any(spans_per_doc):
+            return results
         dataset = NedDataset(
-            corpus,
+            Corpus(pages),
             "test",
             self.vocab,
             self.candidate_map,
@@ -106,9 +169,11 @@ class BootlegAnnotator:
             kgs=self.kgs,
         )
         if len(dataset) == 0:
-            return []
-        records = predict(self.model, dataset)
-        annotations = []
+            return results
+        records = predict_batches(
+            self.model,
+            dataset.batches(self.batch_size, buffers=self._collate_buffers),
+        )
         for record in records:
             if record.predicted_entity_id < 0:
                 continue
@@ -121,8 +186,8 @@ class BootlegAnnotator:
                 for i in order
                 if record.candidate_ids[i] >= 0
             ]
-            span = mention_spans[record.mention_index]
-            annotations.append(
+            span = spans_per_doc[record.sentence_id][record.mention_index]
+            results[record.sentence_id].append(
                 AnnotatedMention(
                     start=span[0],
                     end=span[1],
@@ -133,4 +198,4 @@ class BootlegAnnotator:
                     candidates=ranked,
                 )
             )
-        return annotations
+        return results

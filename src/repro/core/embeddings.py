@@ -28,7 +28,11 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.nn.attention import AdditiveAttention
 from repro.nn.layers import Embedding, Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, concat, get_compute_dtype, no_grad
+
+# Rows per chunk when precomputing the static payload cache; bounds the
+# peak (chunk, T, dim) intermediate of the attention pooling.
+_CACHE_CHUNK = 8192
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,6 +116,138 @@ class EntityEmbedder(Module):
             self.relation_table = None
             self.relation_attention = None
         self.fuse = Linear(config.input_dim, config.hidden_dim, rng)
+        # Inference fast path: fused payload rows for every entity,
+        # precomputed once per model version (see build_static_cache).
+        self._static_cache: np.ndarray | None = None
+        self._static_entity_part: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Static payload cache (inference fast path)
+    # ------------------------------------------------------------------
+    def _segment_slices(self) -> dict[str, slice]:
+        """Column ranges of ``fuse.weight`` per concatenated input part.
+
+        Must mirror the concat order in :meth:`forward` exactly.
+        """
+        config = self.config
+        segments: dict[str, slice] = {}
+        offset = 0
+
+        def take(name: str, width: int) -> None:
+            nonlocal offset
+            segments[name] = slice(offset, offset + width)
+            offset += width
+
+        if config.use_entity:
+            take("entity", config.entity_dim)
+        if config.use_types:
+            take("types", config.type_dim)
+            if config.use_type_prediction:
+                take("predicted_type", config.type_dim)
+        if config.use_relations:
+            take("relations", config.relation_dim)
+        if config.use_title_feature:
+            take("title", config.hidden_dim)
+        if config.use_page_feature:
+            take("page", 1)
+        return segments
+
+    def invalidate_static_cache(self) -> None:
+        """Drop the precomputed payload (parameters changed)."""
+        self._static_cache = None
+        self._static_entity_part = None
+
+    @property
+    def static_cache_ready(self) -> bool:
+        return self._static_cache is not None
+
+    def build_static_cache(self, title_table: np.ndarray | None = None) -> None:
+        """Precompute the sentence-independent payload for every entity.
+
+        ``fuse`` is affine, so the fused payload decomposes into one
+        matmul contribution per concatenated part. The entity, type,
+        relation and title parts depend only on the entity id; their
+        summed contribution (plus the bias) is cached as one contiguous
+        ``(num_entities, hidden_dim)`` matrix gathered per batch. The
+        mention-dependent parts (predicted type, page feature) are added
+        per batch in :meth:`forward_cached`. The entity-embedding
+        contribution is kept separately so padded candidate slots can
+        subtract it — the affine equivalent of zeroing ``u_e``.
+        """
+        config = self.config
+        dtype = get_compute_dtype()
+        weight = self.fuse.weight.data.astype(dtype, copy=False)
+        segments = self._segment_slices()
+        static = np.zeros((self.num_entities, config.hidden_dim), dtype=dtype)
+        static += self.fuse.bias.data.astype(dtype, copy=False)
+        entity_part = (
+            np.zeros((self.num_entities, config.hidden_dim), dtype=dtype)
+            if config.use_entity
+            else None
+        )
+        if config.use_title_feature and title_table is None:
+            raise ConfigError("title feature enabled but no title_table given")
+        with no_grad():
+            for start in range(0, self.num_entities, _CACHE_CHUNK):
+                ids = np.arange(start, min(start + _CACHE_CHUNK, self.num_entities))
+                if config.use_entity:
+                    u = self.entity_table.weight.data[ids].astype(dtype, copy=False)
+                    contribution = u @ weight[segments["entity"]]
+                    entity_part[ids] = contribution
+                    static[ids] += contribution
+                if config.use_types:
+                    t = self.type_payload(ids).data.astype(dtype, copy=False)
+                    static[ids] += t @ weight[segments["types"]]
+                if config.use_relations:
+                    r = self.relation_payload(ids).data.astype(dtype, copy=False)
+                    static[ids] += r @ weight[segments["relations"]]
+                if config.use_title_feature:
+                    titles = title_table[ids].astype(dtype, copy=False)
+                    static[ids] += titles @ weight[segments["title"]]
+        self._static_cache = static
+        self._static_entity_part = entity_part
+
+    def forward_cached(
+        self,
+        candidate_ids: np.ndarray,
+        candidate_mask: np.ndarray,
+        predicted_type: Tensor | None = None,
+        page_feature: np.ndarray | None = None,
+        title_table: np.ndarray | None = None,
+    ) -> Tensor:
+        """Assemble E by gathering cached static rows (inference only).
+
+        Numerically equivalent to :meth:`forward` with no entity-drop
+        mask, up to float summation order. The cache is (re)built lazily
+        when absent or when the active compute dtype changed.
+        """
+        dtype = get_compute_dtype()
+        if self._static_cache is None or self._static_cache.dtype != dtype:
+            self.build_static_cache(title_table=title_table)
+        config = self.config
+        safe_ids = np.where(candidate_ids >= 0, candidate_ids, 0)
+        out = self._static_cache[safe_ids]  # (B, M, K, H), fresh array
+        if config.use_entity:
+            drop = ~candidate_mask
+            if drop.any():
+                out[drop] -= self._static_entity_part[safe_ids[drop]]
+        weight = self.fuse.weight.data
+        segments = self._segment_slices()
+        if config.use_types and config.use_type_prediction:
+            if predicted_type is None:
+                raise ConfigError(
+                    "embedder configured with type prediction but no "
+                    "predicted_type was provided"
+                )
+            w = weight[segments["predicted_type"]].astype(dtype, copy=False)
+            pred = predicted_type.data.astype(dtype, copy=False)
+            out += (pred @ w)[:, :, None, :]
+        if config.use_page_feature:
+            if page_feature is None:
+                raise ConfigError("page feature enabled but no page_feature given")
+            w = weight[segments["page"]].astype(dtype, copy=False)
+            out += page_feature[..., None].astype(dtype, copy=False) * w[0]
+        return Tensor(out)
 
     # ------------------------------------------------------------------
     def type_payload(self, safe_ids: np.ndarray) -> Tensor:

@@ -29,7 +29,7 @@ from repro.nn.attention import NEG_INF
 from repro.nn.layers import Linear
 from repro.nn.loss import IGNORE_INDEX, cross_entropy
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, stack
+from repro.nn.tensor import Tensor, is_grad_enabled, stack
 from repro.nn.transformer import sinusoidal_position_encoding
 from repro.text.encoder import MiniBert
 
@@ -196,6 +196,30 @@ class BootlegModel(Module):
             self.set_entity_counts(entity_counts)
         else:
             self._mask_probs = np.zeros(kb.num_entities)
+        # Inference fast path: gather precomputed static entity payloads
+        # instead of re-fusing them every forward (eval + no_grad only).
+        self.payload_cache_enabled = True
+
+    # ------------------------------------------------------------------
+    # Payload-cache lifecycle: any parameter mutation invalidates it.
+    # ------------------------------------------------------------------
+    def train(self) -> "BootlegModel":
+        super().train()
+        self.embedder.invalidate_static_cache()
+        return self
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self.embedder.invalidate_static_cache()
+
+    def to_dtype(self, dtype) -> "BootlegModel":
+        super().to_dtype(dtype)
+        self.embedder.invalidate_static_cache()
+        return self
+
+    def _title_table(self) -> np.ndarray:
+        """Per-entity title word embedding rows (num_entities, H)."""
+        return self.encoder.token_embedding.weight.data[self._title_token_ids]
 
     # ------------------------------------------------------------------
     def set_entity_counts(self, counts: np.ndarray) -> None:
@@ -257,21 +281,35 @@ class BootlegModel(Module):
                 words, batch.mention_spans
             )
 
-        title_payload = None
-        if config.use_title_feature:
-            title_payload = self._title_payload(batch.candidate_ids)
         page_feature = getattr(batch, "page_feature", None)
         if config.use_page_feature and page_feature is None:
             raise ConfigError("model expects page_feature on the batch")
 
-        entities = self.embedder(
-            batch.candidate_ids,
-            batch.candidate_mask,
-            entity_drop_mask=self._sample_entity_drop(batch.candidate_ids),
-            predicted_type=predicted_type,
-            title_payload=title_payload,
-            page_feature=page_feature if config.use_page_feature else None,
-        )  # (B, M, K, H)
+        use_cache = (
+            self.payload_cache_enabled
+            and not self.training
+            and not is_grad_enabled()
+        )
+        if use_cache:
+            entities = self.embedder.forward_cached(
+                batch.candidate_ids,
+                batch.candidate_mask,
+                predicted_type=predicted_type,
+                page_feature=page_feature if config.use_page_feature else None,
+                title_table=self._title_table() if config.use_title_feature else None,
+            )  # (B, M, K, H)
+        else:
+            title_payload = None
+            if config.use_title_feature:
+                title_payload = self._title_payload(batch.candidate_ids)
+            entities = self.embedder(
+                batch.candidate_ids,
+                batch.candidate_mask,
+                entity_drop_mask=self._sample_entity_drop(batch.candidate_ids),
+                predicted_type=predicted_type,
+                title_payload=title_payload,
+                page_feature=page_feature if config.use_page_feature else None,
+            )  # (B, M, K, H)
 
         if self.position_proj is not None:
             position = self._position_payload(batch.mention_spans)  # (B, M, H)

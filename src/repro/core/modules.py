@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn.attention import NEG_INF, MultiHeadAttention
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_compute_dtype, is_grad_enabled
 
 
 class Phrase2Ent(Module):
@@ -90,6 +90,26 @@ class KG2Ent(Module):
     ) -> Tensor:
         """entities: (B, L, H); adjacency: (B, L, L) non-negative weights."""
         batch_size, length, _ = entities.shape
+        if not is_grad_enabled():
+            # Inference fast path: add the self-loop weight straight onto
+            # the diagonal and run the softmax in place — no (B, L, L)
+            # eye materialization or per-op temporaries. Float op order
+            # matches the autograd path (x + w·0 == x), so results are
+            # bitwise equal.
+            scores = np.array(adjacency, dtype=get_compute_dtype(), copy=True)
+            diagonal = np.arange(length)
+            scores[:, diagonal, diagonal] += float(self.self_weight.data[0])
+            if candidate_pad_mask is not None:
+                scores[
+                    np.broadcast_to(candidate_pad_mask[:, None, :], scores.shape)
+                ] = NEG_INF
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            out = scores @ entities.data
+            if self.use_skip:
+                out += entities.data
+            return Tensor(out)
         eye = np.broadcast_to(np.eye(length), (batch_size, length, length))
         if self.learn_self_weight:
             scores = Tensor(adjacency) + self.self_weight * Tensor(eye.copy())

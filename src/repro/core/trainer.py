@@ -88,9 +88,16 @@ class Trainer:
         self.best_eval_accuracy: float | None = None
 
     def _eval_accuracy(self) -> float:
-        """Fraction of evaluable eval mentions disambiguated correctly."""
+        """Fraction of evaluable eval mentions disambiguated correctly.
+
+        Restores whatever train/eval mode the model was in, so calling
+        this from an eval-mode context doesn't silently re-enable
+        dropout.
+        """
+        was_training = self.model.training
         records = predict(self.model, self.eval_dataset)
-        self.model.train()
+        if was_training:
+            self.model.train()
         evaluable = [r for r in records if r.evaluable]
         if not evaluable:
             return 0.0
@@ -155,31 +162,49 @@ class Trainer:
 
 def predict(model, dataset: NedDataset, batch_size: int = 64) -> list[MentionPrediction]:
     """Run inference over a dataset; returns one record per real mention."""
+    return predict_batches(model, dataset.batches(batch_size))
+
+
+def predict_batches(model, batches) -> list[MentionPrediction]:
+    """Run inference over an iterable of :class:`Batch` objects.
+
+    Callers that own their batching (e.g. the annotator, which reuses
+    collation buffers) feed batches directly; :func:`predict` is the
+    dataset-level convenience wrapper. Record arrays are sliced out of
+    one per-batch snapshot, so they stay valid after the caller reuses
+    or mutates the batch buffers.
+    """
     model.eval()
     results: list[MentionPrediction] = []
     with no_grad():
-        for batch in dataset.batches(batch_size):
+        for batch in batches:
             output = model(batch)
             predicted = model.predictions(batch, output)
-            scores = output.scores.data
+            # One snapshot per batch instead of per-mention .copy() churn;
+            # per-record rows are disjoint views into these snapshots.
+            scores = np.array(output.scores.data, dtype=np.float64, copy=True)
+            candidate_ids = batch.candidate_ids.copy()
+            mention_counts = batch.mention_mask.sum(axis=1)
+            gold_ids = batch.gold_entity_ids
+            evaluable = batch.evaluable
+            is_weak = batch.is_weak
             for b, sentence in enumerate(batch.sentences):
-                encoded_mentions = int(batch.mention_mask[b].sum())
-                mentions = [
-                    m for m in sentence.mentions
-                ][:encoded_mentions]
-                for m, mention in enumerate(mentions):
+                sentence_id = sentence.sentence_id
+                pattern = sentence.pattern
+                mentions = sentence.mentions
+                for m in range(int(mention_counts[b])):
                     results.append(
                         MentionPrediction(
-                            sentence_id=sentence.sentence_id,
+                            sentence_id=sentence_id,
                             mention_index=m,
-                            surface=mention.surface,
-                            gold_entity_id=int(batch.gold_entity_ids[b, m]),
+                            surface=mentions[m].surface,
+                            gold_entity_id=int(gold_ids[b, m]),
                             predicted_entity_id=int(predicted[b, m]),
-                            candidate_ids=batch.candidate_ids[b, m].copy(),
-                            candidate_scores=scores[b, m].copy(),
-                            evaluable=bool(batch.evaluable[b, m]),
-                            is_weak=bool(batch.is_weak[b, m]),
-                            pattern=sentence.pattern,
+                            candidate_ids=candidate_ids[b, m],
+                            candidate_scores=scores[b, m],
+                            evaluable=bool(evaluable[b, m]),
+                            is_weak=bool(is_weak[b, m]),
+                            pattern=pattern,
                         )
                     )
     return results

@@ -4,6 +4,7 @@ Wikipedia generation, statistics, and model-ready datasets."""
 from repro.corpus.dataset import (
     CANDIDATE_PAD,
     Batch,
+    CollateBuffers,
     EncodedSentence,
     NedDataset,
     build_vocabulary,
@@ -44,6 +45,7 @@ from repro.corpus.vocab import Vocabulary
 __all__ = [
     "CANDIDATE_PAD",
     "Batch",
+    "CollateBuffers",
     "EncodedSentence",
     "NedDataset",
     "build_vocabulary",

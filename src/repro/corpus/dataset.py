@@ -28,6 +28,29 @@ from repro.nn.loss import IGNORE_INDEX
 CANDIDATE_PAD = -1
 
 
+class CollateBuffers:
+    """Reusable padded arrays for :meth:`NedDataset.collate`.
+
+    Batch shapes are stable across an annotation run, so reusing the
+    padded arrays avoids reallocating them per batch. Consumers that
+    outlive a batch (e.g. prediction records) must copy what they keep —
+    :func:`repro.core.trainer.predict_batches` does.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape: tuple[int, ...], dtype, fill) -> np.ndarray:
+        """Return a ``shape``-sized array filled with ``fill``, reusing
+        the previous allocation for ``name`` when the shape matches."""
+        array = self._arrays.get(name)
+        if array is None or array.shape != shape or array.dtype != np.dtype(dtype):
+            array = np.empty(shape, dtype=dtype)
+            self._arrays[name] = array
+        array[...] = fill
+        return array
+
+
 @dataclasses.dataclass
 class EncodedSentence:
     """One sentence's arrays (unpadded)."""
@@ -174,35 +197,63 @@ class NedDataset:
     def __getitem__(self, index: int) -> EncodedSentence:
         return self.encoded[index]
 
-    def collate(self, items: Sequence[EncodedSentence]) -> Batch:
-        """Pad a list of encoded sentences into one batch."""
+    def collate(
+        self,
+        items: Sequence[EncodedSentence],
+        buffers: CollateBuffers | None = None,
+    ) -> Batch:
+        """Pad a list of encoded sentences into one batch.
+
+        With ``buffers``, padded arrays are recycled across calls; the
+        returned batch is then only valid until the next collate call
+        with the same buffers.
+        """
         if not items:
             raise CorpusError("cannot collate an empty batch")
+        if buffers is None:
+            buffers = CollateBuffers()
         batch_size = len(items)
         k = self.num_candidates
         max_tokens = max(item.num_tokens for item in items)
         max_mentions = max(item.num_mentions for item in items)
         pad_id = self.vocab.pad_id
 
-        token_ids = np.full((batch_size, max_tokens), pad_id, dtype=np.int64)
-        token_pad_mask = np.ones((batch_size, max_tokens), dtype=bool)
-        candidate_ids = np.full(
-            (batch_size, max_mentions, k), CANDIDATE_PAD, dtype=np.int64
+        token_ids = buffers.take(
+            "token_ids", (batch_size, max_tokens), np.int64, pad_id
         )
-        mention_mask = np.zeros((batch_size, max_mentions), dtype=bool)
-        gold_candidate = np.full((batch_size, max_mentions), IGNORE_INDEX, dtype=np.int64)
-        gold_entity_ids = np.full(
-            (batch_size, max_mentions), CANDIDATE_PAD, dtype=np.int64
+        token_pad_mask = buffers.take(
+            "token_pad_mask", (batch_size, max_tokens), bool, True
         )
-        spans = np.zeros((batch_size, max_mentions, 2), dtype=np.int64)
-        is_weak = np.zeros((batch_size, max_mentions), dtype=bool)
-        evaluable = np.zeros((batch_size, max_mentions), dtype=bool)
+        candidate_ids = buffers.take(
+            "candidate_ids", (batch_size, max_mentions, k), np.int64, CANDIDATE_PAD
+        )
+        mention_mask = buffers.take(
+            "mention_mask", (batch_size, max_mentions), bool, False
+        )
+        gold_candidate = buffers.take(
+            "gold_candidate", (batch_size, max_mentions), np.int64, IGNORE_INDEX
+        )
+        gold_entity_ids = buffers.take(
+            "gold_entity_ids", (batch_size, max_mentions), np.int64, CANDIDATE_PAD
+        )
+        spans = buffers.take(
+            "mention_spans", (batch_size, max_mentions, 2), np.int64, 0
+        )
+        is_weak = buffers.take("is_weak", (batch_size, max_mentions), bool, False)
+        evaluable = buffers.take(
+            "evaluable", (batch_size, max_mentions), bool, False
+        )
         flat_dim = max_mentions * k
         adjacencies = [
-            np.zeros((batch_size, flat_dim, flat_dim)) for _ in self.kgs
+            buffers.take(
+                f"adjacency_{i}", (batch_size, flat_dim, flat_dim), np.float64, 0.0
+            )
+            for i in range(len(self.kgs))
         ]
         page_feature = (
-            np.zeros((batch_size, max_mentions, k))
+            buffers.take(
+                "page_feature", (batch_size, max_mentions, k), np.float64, 0.0
+            )
             if self.page_graph is not None
             else None
         )
@@ -242,8 +293,13 @@ class NedDataset:
         self,
         batch_size: int,
         rng: np.random.Generator | None = None,
+        buffers: CollateBuffers | None = None,
     ) -> Iterator[Batch]:
-        """Yield batches; shuffled when ``rng`` is given."""
+        """Yield batches; shuffled when ``rng`` is given.
+
+        ``buffers`` recycles padded arrays across batches; each yielded
+        batch is then invalidated by the next iteration step.
+        """
         if batch_size < 1:
             raise CorpusError("batch_size must be >= 1")
         order = np.arange(len(self.encoded))
@@ -251,7 +307,7 @@ class NedDataset:
             rng.shuffle(order)
         for start in range(0, len(order), batch_size):
             chunk = [self.encoded[int(i)] for i in order[start : start + batch_size]]
-            yield self.collate(chunk)
+            yield self.collate(chunk, buffers=buffers)
 
     # ------------------------------------------------------------------
     def evaluable_mention_count(self) -> int:

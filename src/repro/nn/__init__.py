@@ -24,7 +24,16 @@ from repro.nn.serialize import (
     parameter_size_mb,
     save_module,
 )
-from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    compute_dtype,
+    concat,
+    get_compute_dtype,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
 from repro.nn.transformer import (
     TransformerEncoder,
     TransformerEncoderLayer,
@@ -54,7 +63,9 @@ __all__ = [
     "parameter_size_mb",
     "save_module",
     "Tensor",
+    "compute_dtype",
     "concat",
+    "get_compute_dtype",
     "is_grad_enabled",
     "no_grad",
     "stack",

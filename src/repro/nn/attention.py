@@ -14,7 +14,7 @@ import numpy as np
 from repro.errors import ConfigError, ShapeError
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 NEG_INF = -1e9
 
@@ -34,6 +34,19 @@ class ScaledDotProductAttention(Module):
         key_mask: np.ndarray | None = None,
     ) -> Tensor:
         d = query.shape[-1]
+        if not is_grad_enabled() and (self.dropout is None or not self.dropout.training):
+            # Inference fast path: in-place mask/softmax on the score
+            # array instead of one temporary per graph op. Same float op
+            # order as the autograd path, so results are bitwise equal.
+            # float(): a np.float64 scalar would promote float32 scores.
+            scores = (query.data @ key.data.swapaxes(-1, -2)) * float(1.0 / np.sqrt(d))
+            if key_mask is not None:
+                mask = np.asarray(key_mask, dtype=bool)
+                scores[np.broadcast_to(mask[..., None, :], scores.shape)] = NEG_INF
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            return Tensor(scores @ value.data)
         scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
         if key_mask is not None:
             # key_mask: True where the key position is PADDING (to be ignored).

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.errors import ConfigError, ShapeError
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 
 def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
@@ -45,6 +45,13 @@ class Linear(Module):
             raise ShapeError(
                 f"Linear expected last dim {self.in_features}, got {x.shape[-1]}"
             )
+        if not is_grad_enabled():
+            # Inference fast path: add the bias into the matmul output
+            # instead of allocating a second full-size array.
+            out = x.data @ self.weight.data
+            if self.bias is not None:
+                out += self.bias.data
+            return Tensor(out)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -104,6 +111,18 @@ class LayerNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.dim:
             raise ShapeError(f"LayerNorm expected last dim {self.dim}, got {x.shape[-1]}")
+        if not is_grad_enabled():
+            # Inference fast path: one fused numpy expression instead of
+            # ~12 graph-op temporaries. Mirrors the autograd path's exact
+            # float op order (sum * 1/n, not mean) so results are bitwise
+            # identical.
+            data = x.data
+            inv_n = 1.0 / data.shape[-1]
+            mu = data.sum(axis=-1, keepdims=True) * inv_n
+            centered = data - mu
+            var = (centered * centered).sum(axis=-1, keepdims=True) * inv_n
+            normed = centered / ((var + self.eps) ** 0.5)
+            return Tensor(normed * self.gamma.data + self.beta.data)
         mu = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         normed = (x - mu) / ((var + self.eps) ** 0.5)

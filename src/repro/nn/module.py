@@ -105,6 +105,32 @@ class Module:
             param.zero_grad()
 
     # ------------------------------------------------------------------
+    # Precision
+    # ------------------------------------------------------------------
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place (grads are cleared).
+
+        Pair a float32 cast with the ``repro.nn.tensor.compute_dtype``
+        context so intermediate activations are stored in float32 too;
+        otherwise mixed-dtype numpy ops silently promote back to float64.
+        """
+        resolved = np.dtype(dtype)
+        if resolved.kind != "f":
+            raise SerializationError(f"parameter dtype must be floating, got {resolved}")
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            param.grad = None
+        return self
+
+    def half_precision(self) -> "Module":
+        """Cast parameters to float32 for the inference fast path."""
+        return self.to_dtype(np.float32)
+
+    def full_precision(self) -> "Module":
+        """Cast parameters back to the float64 training default."""
+        return self.to_dtype(np.float64)
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:

@@ -18,6 +18,11 @@ Design notes
   components over broadcast dimensions (``_unbroadcast``).
 * A module-level ``no_grad`` context disables graph construction for
   inference-time code.
+* A module-level ``compute_dtype`` context selects the floating dtype
+  newly created tensors are stored in. The default stays float64 so
+  gradient checks remain exact; inference code opts into float32 with
+  ``with no_grad(), compute_dtype(np.float32): ...`` (pair it with
+  ``Module.half_precision()`` so parameters match).
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.errors import GradientError, ShapeError
 DEFAULT_DTYPE = np.float64
 
 _GRAD_ENABLED = True
+_COMPUTE_DTYPE = np.dtype(DEFAULT_DTYPE)
 
 
 @contextlib.contextmanager
@@ -51,6 +57,31 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+@contextlib.contextmanager
+def compute_dtype(dtype) -> Iterator[None]:
+    """Store tensors created inside the block in ``dtype``.
+
+    Nests like ``no_grad``: the previous dtype is restored on exit. Only
+    floating dtypes are meaningful; integer index arrays are unaffected
+    (they never pass through ``Tensor``).
+    """
+    global _COMPUTE_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise GradientError(f"compute dtype must be floating, got {resolved}")
+    previous = _COMPUTE_DTYPE
+    _COMPUTE_DTYPE = resolved
+    try:
+        yield
+    finally:
+        _COMPUTE_DTYPE = previous
+
+
+def get_compute_dtype() -> np.dtype:
+    """Return the dtype newly created tensors are stored in."""
+    return _COMPUTE_DTYPE
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
     if grad.shape == shape:
@@ -66,10 +97,10 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: "Tensor | np.ndarray | float | int", dtype=DEFAULT_DTYPE) -> np.ndarray:
+def _as_array(value: "Tensor | np.ndarray | float | int", dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype or _COMPUTE_DTYPE)
 
 
 class Tensor:
@@ -93,7 +124,7 @@ class Tensor:
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str | None = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=DEFAULT_DTYPE)
+        self.data = np.asarray(data, dtype=_COMPUTE_DTYPE)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad or _parents else ()
@@ -375,14 +406,31 @@ class Tensor:
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
         x = self.data
-        c = np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x**3)
+        # float(): a np.float64 scalar would promote float32 activations
+        # to float64 for the whole expression.
+        c = float(np.sqrt(2.0 / np.pi))
+        if not is_grad_enabled():
+            # Inference fast path: one buffer mutated in place instead of
+            # a temporary per arithmetic op.
+            out = x * x
+            out *= x
+            out *= 0.044715
+            out += x
+            out *= c
+            np.tanh(out, out=out)
+            out += 1.0
+            out *= x
+            out *= 0.5
+            return Tensor(out)
+        # x*x*x, not x**3: numpy routes small integer powers through the
+        # generic pow loop, which is ~10x slower than two multiplies.
+        inner = c * (x + 0.044715 * (x * x * x))
         t = np.tanh(inner)
         data = 0.5 * x * (1.0 + t)
 
         def backward(grad: np.ndarray):
-            d_inner = c * (1.0 + 3 * 0.044715 * x**2)
-            local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
+            d_inner = c * (1.0 + 3 * 0.044715 * (x * x))
+            local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner
             return [(self, grad * local)]
 
         return Tensor._make(data, (self,), backward)

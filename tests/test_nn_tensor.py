@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.errors import GradientError, ShapeError
-from repro.nn.tensor import Tensor, concat, no_grad, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    compute_dtype,
+    concat,
+    get_compute_dtype,
+    no_grad,
+    stack,
+    where,
+)
 
 RNG = np.random.default_rng(0)
 
@@ -308,3 +316,51 @@ class TestGraphSemantics:
     def test_item_requires_scalar(self):
         with pytest.raises(ShapeError):
             Tensor(np.ones(3)).item()
+
+
+class TestComputeDtype:
+    def test_default_is_float64(self):
+        assert get_compute_dtype() == np.float64
+        assert Tensor(np.ones(3, dtype=np.float32)).data.dtype == np.float64
+
+    def test_context_switches_new_tensors(self):
+        with compute_dtype(np.float32):
+            assert get_compute_dtype() == np.float32
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert get_compute_dtype() == np.float64
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with compute_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert get_compute_dtype() == np.float64
+
+    def test_rejects_non_float(self):
+        with pytest.raises(GradientError):
+            with compute_dtype(np.int32):
+                pass
+
+    def test_nests_with_no_grad_both_orders(self):
+        with no_grad(), compute_dtype(np.float32):
+            out = Tensor([1.0]) * 2.0
+            assert out.data.dtype == np.float32
+            assert not out._parents
+        with compute_dtype(np.float32), no_grad():
+            out = Tensor([1.0]) * 2.0
+            assert out.data.dtype == np.float32
+            assert not out._parents
+        assert get_compute_dtype() == np.float64
+
+    def test_ops_follow_context_dtype(self):
+        x = Tensor(RNG.normal(size=(4, 8)))
+        with compute_dtype(np.float32):
+            assert (x @ x.swapaxes(0, 1)).data.dtype == np.float32
+            assert x.gelu().data.dtype == np.float32
+            assert x.softmax(axis=-1).data.dtype == np.float32
+
+    def test_gelu_inference_matches_training_path(self):
+        x = Tensor(RNG.normal(size=(64,)))
+        trained = x.gelu().data
+        with no_grad():
+            fused = Tensor(x.data).gelu().data
+        np.testing.assert_allclose(fused, trained, rtol=0, atol=1e-12)
