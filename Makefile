@@ -1,6 +1,7 @@
 # Convenience targets for the Bootleg reproduction.
 
-.PHONY: install test bench bench-core bench-fresh examples clean-cache
+.PHONY: install test bench bench-core bench-core-baseline bench-fresh \
+	obs-demo examples clean-cache
 
 install:
 	pip install -e .
@@ -18,10 +19,26 @@ bench-report:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 # Core microbenchmarks (forward pass, annotator throughput, collation)
-# with a JSON baseline for regression comparison.
+# compared against the committed baseline; fails on a >20% mean
+# regression. The baseline file is never rewritten by this target.
 bench-core:
 	pytest benchmarks/bench_perf_core.py --benchmark-only \
+		--benchmark-json=benchmarks/.bench_core_latest.json
+	python benchmarks/compare_to_baseline.py \
+		benchmarks/.bench_core_latest.json \
+		benchmarks/bench_core_baseline.json --max-regression 0.20
+
+# Explicitly refresh the committed baseline (run on the reference box
+# after an intentional perf change, then commit the JSON).
+bench-core-baseline:
+	pytest benchmarks/bench_perf_core.py --benchmark-only \
 		--benchmark-json=benchmarks/bench_core_baseline.json
+
+# Emit a sample telemetry bundle (metrics JSON + Chrome trace) from the
+# quickstart example; load obs_trace.json in chrome://tracing.
+obs-demo:
+	PYTHONPATH=src python examples/quickstart.py \
+		--metrics-out obs_metrics.json --trace-out obs_trace.json
 
 # Drop all cached trained models so benches retrain from scratch.
 clean-cache:

@@ -23,10 +23,20 @@ from repro.kb import WorldConfig, generate_world
 from repro.nn.tensor import compute_dtype, no_grad
 
 
-@pytest.fixture(scope="module")
-def perf_setup():
-    world = generate_world(WorldConfig(num_entities=300, seed=31))
-    corpus = generate_corpus(world, CorpusConfig(num_pages=60, seed=31))
+def build_perf_setup(
+    num_entities: int = 300,
+    num_pages: int = 60,
+    seed: int = 31,
+    batch_size: int = 32,
+    num_texts: int = 16,
+) -> dict:
+    """World + corpus + float64/float32 model pair + one collated batch.
+
+    Shared by the benchmarks here and by the observability overhead
+    guard in ``tests/test_obs.py``, so both measure the same workload.
+    """
+    world = generate_world(WorldConfig(num_entities=num_entities, seed=seed))
+    corpus = generate_corpus(world, CorpusConfig(num_pages=num_pages, seed=seed))
     vocab = build_vocabulary(corpus)
     counts = EntityCounts.from_corpus(corpus, world.num_entities)
     dataset = NedDataset(
@@ -49,9 +59,9 @@ def perf_setup():
     model32.load_state_dict(model.state_dict())
     model32.half_precision()
     model32.eval()
-    batch = dataset.collate(dataset.encoded[:32])
+    batch = dataset.collate(dataset.encoded[:batch_size])
     texts = [
-        detokenize(list(s.tokens)) for s in corpus.sentences("test")[:16]
+        detokenize(list(s.tokens)) for s in corpus.sentences("test")[:num_texts]
     ]
     return {
         "world": world,
@@ -63,6 +73,11 @@ def perf_setup():
         "batch": batch,
         "texts": texts,
     }
+
+
+@pytest.fixture(scope="module")
+def perf_setup():
+    return build_perf_setup()
 
 
 def make_annotator(perf_setup, model):

@@ -1,0 +1,83 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare_to_baseline.py CURRENT.json BASELINE.json \
+        [--max-regression 0.20]
+
+Benchmarks are matched by name; for each common benchmark the mean
+runtime ratio (current / baseline) is printed, and the script exits
+non-zero if any benchmark regressed by more than ``--max-regression``
+(default 20%). Benchmarks present in only one file are reported but
+never fail the run, so adding or retiring benches doesn't break CI.
+
+This replaces pointing ``--benchmark-json`` at the baseline file itself,
+which silently rewrote the baseline on every routine run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="fail when current mean exceeds baseline by this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print("error: no common benchmarks between the two runs", file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name in common:
+        ratio = current[name] / baseline[name]
+        flag = ""
+        if ratio > 1.0 + args.max_regression:
+            failures.append((name, ratio))
+            flag = "  REGRESSION"
+        print(
+            f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  "
+            f"{current[name] * 1e3:>8.2f}ms  {ratio:5.2f}x{flag}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name}: not in baseline (skipped)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name}: missing from current run (skipped)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,16 @@ annotator to disambiguate mentions in free text — showing how the same
 ambiguous surface form resolves differently depending on context.
 
 Run:  python examples/quickstart.py
+
+With ``--metrics-out``/``--trace-out`` the run also emits telemetry:
+a metrics JSON snapshot and a Chrome trace_event file with per-epoch,
+per-step, and per-module (Phrase2Ent / Ent2Ent / KG2Ent) spans — see
+docs/OBSERVABILITY.md. ``make obs-demo`` runs exactly that.
 """
 
+import argparse
+
+from repro import obs
 from repro.core import (
     BootlegAnnotator,
     BootlegConfig,
@@ -27,6 +35,17 @@ from repro.weaklabel import weak_label_corpus
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics-out", default=None,
+                        help="write a metrics JSON snapshot here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace_event file here")
+    args = parser.parse_args()
+    observing = bool(args.metrics_out or args.trace_out)
+    if observing:
+        obs.reset()
+        obs.enable()
+
     print("1. generating a synthetic world (entities, types, relations, KG)")
     world = generate_world(WorldConfig(num_entities=300, seed=0))
     print(f"   {world.kb.num_entities} entities, {world.kb.num_types} types, "
@@ -48,6 +67,8 @@ def main() -> None:
         BootlegConfig(num_candidates=6), world.kb, vocab,
         entity_counts=counts.counts,
     )
+    if args.trace_out:
+        model.enable_forward_profiling()
     history = Trainer(
         model, train, TrainConfig(epochs=12, batch_size=32, learning_rate=3e-3)
     ).train()
@@ -78,6 +99,15 @@ def main() -> None:
         top = annotations[0]
         print(f"   {text!r} -> {top.entity_title} "
               f"(candidates: {[t for t, _ in top.candidates]})")
+
+    if args.metrics_out:
+        obs.metrics.export_json(args.metrics_out)
+        print(f"   metrics written to {args.metrics_out}")
+    if args.trace_out:
+        obs.tracer.export_chrome(args.trace_out)
+        print(f"   trace written to {args.trace_out}")
+    if observing:
+        obs.disable()
 
 
 if __name__ == "__main__":

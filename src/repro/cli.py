@@ -21,6 +21,7 @@ import sys
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.annotator import BootlegAnnotator
 from repro.core.model import BootlegConfig, BootlegModel
 from repro.core.trainer import TrainConfig, Trainer, predict
@@ -34,6 +35,7 @@ from repro.eval.slices import f1_by_bucket, mentions_by_bucket
 from repro.kb.io import load_world, save_world
 from repro.kb.synthetic import WorldConfig, generate_world
 from repro.nn.serialize import load_module, save_module
+from repro.utils.logging import enable_console_logging, parse_level
 from repro.utils.tables import format_table
 from repro.weaklabel.pipeline import weak_label_corpus
 
@@ -65,6 +67,59 @@ def _vocab_from_tokens(tokens: list[str]) -> Vocabulary:
 
 def _vocab_content_tokens(vocab: Vocabulary) -> list[str]:
     return [vocab.decode_id(i) for i in range(len(SPECIAL_TOKENS), len(vocab))]
+
+
+# ----------------------------------------------------------------------
+# Telemetry plumbing (shared flags on every subcommand)
+# ----------------------------------------------------------------------
+def _telemetry_parser() -> argparse.ArgumentParser:
+    """Parent parser carrying the observability/logging flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a metrics JSON snapshot (counters/gauges/histograms)",
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace_event span trace (chrome://tracing)",
+    )
+    group.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable console logging at this level",
+    )
+    group.add_argument(
+        "--json-logs", action="store_true",
+        help="emit structured JSON log lines instead of the text format",
+    )
+    return parent
+
+
+def _setup_telemetry(args: argparse.Namespace) -> None:
+    if args.log_level is not None or args.json_logs:
+        level = parse_level(args.log_level or "info")
+        enable_console_logging(level, json_logs=args.json_logs)
+    if args.metrics_out or args.trace_out:
+        obs.reset()
+        obs.enable()
+
+
+def _export_telemetry(args: argparse.Namespace) -> None:
+    if args.metrics_out:
+        obs.metrics.export_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        obs.tracer.export_chrome(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out or args.trace_out:
+        obs.disable()
+
+
+def _maybe_profile(model, args: argparse.Namespace) -> None:
+    """Turn on per-module forward spans when a trace was requested."""
+    if getattr(args, "trace_out", None):
+        model.enable_forward_profiling()
 
 
 # ----------------------------------------------------------------------
@@ -113,6 +168,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     overrides = dict(MODEL_PRESETS[args.preset])
     config = BootlegConfig(num_candidates=args.candidates, **overrides)
     model = BootlegModel(config, world.kb, vocab, entity_counts=counts.counts)
+    _maybe_profile(model, args)
     trainer = Trainer(
         model,
         dataset,
@@ -163,6 +219,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     world = load_world(args.world)
     corpus = load_corpus(args.corpus)
     model, vocab, config = _load_model(world, args.model)
+    _maybe_profile(model, args)
     counts = EntityCounts.from_corpus(corpus, world.num_entities)
     dataset = NedDataset(
         corpus, args.split, vocab, world.candidate_map,
@@ -189,6 +246,11 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     """``repro annotate``: disambiguate mentions in free text."""
     world = load_world(args.world)
     model, vocab, config = _load_model(world, args.model)
+    _maybe_profile(model, args)
+    if model.payload_cache_enabled and not config.use_title_feature:
+        # Serving warm-up: build the static entity-payload cache before
+        # the first request so its cost never lands on request latency.
+        model.embedder.build_static_cache()
     annotator = BootlegAnnotator(
         model, vocab, world.candidate_map, world.kb,
         kgs=[world.kg], num_candidates=config.num_candidates,
@@ -216,14 +278,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bootleg reproduction: worlds, corpora, training, annotation.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    telemetry = _telemetry_parser()
 
-    world_parser = sub.add_parser("generate-world", help="create a synthetic world")
+    world_parser = sub.add_parser(
+        "generate-world", help="create a synthetic world", parents=[telemetry]
+    )
     world_parser.add_argument("--entities", type=int, default=400)
     world_parser.add_argument("--seed", type=int, default=0)
     world_parser.add_argument("--out", required=True)
     world_parser.set_defaults(func=cmd_generate_world)
 
-    corpus_parser = sub.add_parser("generate-corpus", help="create a corpus")
+    corpus_parser = sub.add_parser(
+        "generate-corpus", help="create a corpus", parents=[telemetry]
+    )
     corpus_parser.add_argument("--world", required=True)
     corpus_parser.add_argument("--pages", type=int, default=300)
     corpus_parser.add_argument("--seed", type=int, default=0)
@@ -231,7 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_parser.add_argument("--out", required=True)
     corpus_parser.set_defaults(func=cmd_generate_corpus)
 
-    train_parser = sub.add_parser("train", help="train a model")
+    train_parser = sub.add_parser(
+        "train", help="train a model", parents=[telemetry]
+    )
     train_parser.add_argument("--world", required=True)
     train_parser.add_argument("--corpus", required=True)
     train_parser.add_argument("--preset", choices=sorted(MODEL_PRESETS), default="bootleg")
@@ -243,14 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("--out", required=True)
     train_parser.set_defaults(func=cmd_train)
 
-    eval_parser = sub.add_parser("evaluate", help="evaluate a saved model")
+    eval_parser = sub.add_parser(
+        "evaluate", help="evaluate a saved model", parents=[telemetry]
+    )
     eval_parser.add_argument("--world", required=True)
     eval_parser.add_argument("--corpus", required=True)
     eval_parser.add_argument("--model", required=True)
     eval_parser.add_argument("--split", default="val", choices=("train", "val", "test"))
     eval_parser.set_defaults(func=cmd_evaluate)
 
-    annotate_parser = sub.add_parser("annotate", help="disambiguate free text")
+    annotate_parser = sub.add_parser(
+        "annotate", help="disambiguate free text", parents=[telemetry]
+    )
     annotate_parser.add_argument("--world", required=True)
     annotate_parser.add_argument("--model", required=True)
     annotate_parser.add_argument("--text", required=True)
@@ -262,11 +335,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _setup_telemetry(args)
     try:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        _export_telemetry(args)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from repro.core.trainer import (
     EpochStats,
     TrainConfig,
     Trainer,
+    TrainReport,
     predict,
     predict_batches,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "EpochStats",
     "TrainConfig",
     "Trainer",
+    "TrainReport",
     "predict",
     "predict_batches",
 ]

@@ -18,6 +18,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.trainer import predict_batches
 from repro.corpus.dataset import CollateBuffers, NedDataset
 from repro.corpus.document import Corpus, Mention, Page, Sentence
@@ -137,6 +138,14 @@ class BootlegAnnotator:
                 f"mention_spans has {len(mention_spans)} entries "
                 f"for {len(texts)} texts"
             )
+        with obs.span("annotator.annotate_batch", documents=len(texts)):
+            return self._annotate_batch(texts, mention_spans)
+
+    def _annotate_batch(
+        self,
+        texts: Sequence[str],
+        mention_spans: Sequence[list[tuple[int, int]] | None] | None,
+    ) -> list[list[AnnotatedMention]]:
         pages: list[Page] = []
         spans_per_doc: list[list[tuple[int, int]]] = []
         for doc_index, text in enumerate(texts):
@@ -157,6 +166,11 @@ class BootlegAnnotator:
             spans_per_doc.append(list(spans))
             sentence = Sentence(doc_index, doc_index, tokens, mentions)
             pages.append(Page(doc_index, 0, "test", [sentence]))
+        observing = obs.enabled
+        num_detected = sum(len(spans) for spans in spans_per_doc)
+        if observing:
+            obs.metrics.counter("annotator.documents").inc(len(texts))
+            obs.metrics.counter("annotator.mentions_detected").inc(num_detected)
         results: list[list[AnnotatedMention]] = [[] for _ in texts]
         if not any(spans_per_doc):
             return results
@@ -174,6 +188,17 @@ class BootlegAnnotator:
             self.model,
             dataset.batches(self.batch_size, buffers=self._collate_buffers),
         )
+        if observing:
+            # Candidate coverage: fraction of detected mentions for which
+            # the candidate map yielded at least one candidate entity.
+            covered = sum(
+                1 for r in records if int((r.candidate_ids >= 0).sum()) > 0
+            )
+            obs.metrics.counter("annotator.mentions_covered").inc(covered)
+            if num_detected:
+                obs.metrics.gauge("annotator.candidate_coverage").set(
+                    covered / num_detected
+                )
         for record in records:
             if record.predicted_entity_id < 0:
                 continue
@@ -197,5 +222,9 @@ class BootlegAnnotator:
                     score=float(record.candidate_scores.max()),
                     candidates=ranked,
                 )
+            )
+        if observing:
+            obs.metrics.counter("annotator.mentions_annotated").inc(
+                sum(len(annotations) for annotations in results)
             )
         return results

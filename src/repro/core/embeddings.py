@@ -23,6 +23,7 @@ import dataclasses
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConfigError
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.nn.attention import AdditiveAttention
@@ -154,6 +155,8 @@ class EntityEmbedder(Module):
 
     def invalidate_static_cache(self) -> None:
         """Drop the precomputed payload (parameters changed)."""
+        if obs.enabled and self._static_cache is not None:
+            obs.metrics.counter("entity_cache.invalidations").inc()
         self._static_cache = None
         self._static_entity_part = None
 
@@ -187,7 +190,9 @@ class EntityEmbedder(Module):
         )
         if config.use_title_feature and title_table is None:
             raise ConfigError("title feature enabled but no title_table given")
-        with no_grad():
+        if obs.enabled:
+            obs.metrics.counter("entity_cache.rebuild").inc()
+        with obs.span("entity_cache.build", entities=self.num_entities), no_grad():
             for start in range(0, self.num_entities, _CACHE_CHUNK):
                 ids = np.arange(start, min(start + _CACHE_CHUNK, self.num_entities))
                 if config.use_entity:
@@ -222,7 +227,12 @@ class EntityEmbedder(Module):
         when absent or when the active compute dtype changed.
         """
         dtype = get_compute_dtype()
-        if self._static_cache is None or self._static_cache.dtype != dtype:
+        hit = self._static_cache is not None and self._static_cache.dtype == dtype
+        if obs.enabled:
+            # Touch both counters so exports always carry the pair.
+            obs.metrics.counter("entity_cache.hit").inc(1 if hit else 0)
+            obs.metrics.counter("entity_cache.miss").inc(0 if hit else 1)
+        if not hit:
             self.build_static_cache(title_table=title_table)
         config = self.config
         safe_ids = np.where(candidate_ids >= 0, candidate_ids, 0)

@@ -18,11 +18,13 @@ import numpy as np
 
 from collections.abc import Callable
 
+import repro.obs as obs
 from repro.corpus.dataset import NedDataset
 from repro.errors import ConfigError, TrainingError
 from repro.eval.predictions import MentionPrediction
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import no_grad
+from repro.obs.metrics import Histogram
 from repro.utils.logging import get_logger
 
 logger = get_logger("core.trainer")
@@ -55,6 +57,44 @@ class EpochStats:
     epoch: int
     mean_loss: float
     seconds: float
+    # Latest validation-probe accuracy observed during this epoch (None
+    # when periodic eval is off or no probe fell inside the epoch).
+    eval_accuracy: float | None = None
+
+
+@dataclasses.dataclass
+class TrainReport:
+    """Per-epoch telemetry summary of one :meth:`Trainer.train` run.
+
+    Histogram summaries (loss, pre/post-clip grad norm, step latency)
+    are keyed by epoch and populated only when ``repro.obs`` was enabled
+    during training; ``epochs`` and the best-checkpoint fields are
+    always filled.
+    """
+
+    epochs: list[EpochStats]
+    total_steps: int
+    total_seconds: float
+    best_eval_accuracy: float | None
+    best_eval_step: int | None
+    loss: dict[int, dict]
+    grad_norm_pre: dict[int, dict]
+    grad_norm_post: dict[int, dict]
+    step_seconds: dict[int, dict]
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {
+            "epochs": [dataclasses.asdict(stats) for stats in self.epochs],
+            "total_steps": self.total_steps,
+            "total_seconds": self.total_seconds,
+            "best_eval_accuracy": self.best_eval_accuracy,
+            "best_eval_step": self.best_eval_step,
+            "loss": self.loss,
+            "grad_norm_pre": self.grad_norm_pre,
+            "grad_norm_post": self.grad_norm_post,
+            "step_seconds": self.step_seconds,
+        }
 
 
 class Trainer:
@@ -86,6 +126,41 @@ class Trainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self.history: list[EpochStats] = []
         self.best_eval_accuracy: float | None = None
+        self.best_eval_step: int | None = None
+        self.total_steps: int = 0
+        # Per-epoch telemetry histograms, shared with the obs registry;
+        # populated only while obs.enabled (see _epoch_hist).
+        self._hists: dict[tuple[str, int], Histogram] = {}
+
+    def _epoch_hist(self, name: str, epoch: int) -> Histogram:
+        key = (name, epoch)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = obs.metrics.histogram(name, epoch=epoch)
+            self._hists[key] = hist
+        return hist
+
+    def report(self) -> TrainReport:
+        """Summarize the run so far (see :class:`TrainReport`)."""
+
+        def summaries(name: str) -> dict[int, dict]:
+            return {
+                epoch: hist.summary()
+                for (hist_name, epoch), hist in sorted(self._hists.items())
+                if hist_name == name
+            }
+
+        return TrainReport(
+            epochs=list(self.history),
+            total_steps=self.total_steps,
+            total_seconds=sum(stats.seconds for stats in self.history),
+            best_eval_accuracy=self.best_eval_accuracy,
+            best_eval_step=self.best_eval_step,
+            loss=summaries("train.loss"),
+            grad_norm_pre=summaries("train.grad_norm_pre"),
+            grad_norm_post=summaries("train.grad_norm_post"),
+            step_seconds=summaries("train.step_seconds"),
+        )
 
     def _eval_accuracy(self) -> float:
         """Fraction of evaluable eval mentions disambiguated correctly.
@@ -116,30 +191,58 @@ class Trainer:
         for epoch in range(self.config.epochs):
             start = time.perf_counter()
             losses: list[float] = []
-            for batch in self.dataset.batches(self.config.batch_size, self._rng):
-                self.optimizer.zero_grad()
-                output = self.model(batch)
-                loss = self.model.loss(batch, output)
-                loss_value = loss.item()
-                if not np.isfinite(loss_value):
-                    raise TrainingError(f"non-finite loss at epoch {epoch}")
-                loss.backward()
-                clip_grad_norm(self.optimizer.parameters, self.config.clip_norm)
-                self.optimizer.step()
-                losses.append(loss_value)
-                step += 1
-                if track_best and step % self.config.eval_every_steps == 0:
-                    accuracy = self._eval_accuracy()
-                    if (
-                        self.best_eval_accuracy is None
-                        or accuracy > self.best_eval_accuracy
-                    ):
-                        self.best_eval_accuracy = accuracy
-                        best_state = self.model.state_dict()
+            epoch_eval_accuracy: float | None = None
+            with obs.span("train.epoch", epoch=epoch):
+                for batch in self.dataset.batches(
+                    self.config.batch_size, self._rng
+                ):
+                    observing = obs.enabled
+                    step_start = time.perf_counter() if observing else 0.0
+                    self.optimizer.zero_grad()
+                    output = self.model(batch)
+                    loss = self.model.loss(batch, output)
+                    loss_value = loss.item()
+                    if not np.isfinite(loss_value):
+                        raise TrainingError(f"non-finite loss at epoch {epoch}")
+                    loss.backward()
+                    grad_norm = clip_grad_norm(
+                        self.optimizer.parameters, self.config.clip_norm
+                    )
+                    self.optimizer.step()
+                    losses.append(loss_value)
+                    step += 1
+                    self.total_steps = step
+                    if observing:
+                        obs.metrics.counter("train.steps").inc()
+                        self._epoch_hist("train.loss", epoch).observe(loss_value)
+                        self._epoch_hist("train.grad_norm_pre", epoch).observe(
+                            grad_norm
+                        )
+                        self._epoch_hist("train.grad_norm_post", epoch).observe(
+                            min(grad_norm, self.config.clip_norm)
+                        )
+                        self._epoch_hist("train.step_seconds", epoch).observe(
+                            time.perf_counter() - step_start
+                        )
+                    if track_best and step % self.config.eval_every_steps == 0:
+                        with obs.span("train.eval", step=step):
+                            accuracy = self._eval_accuracy()
+                        epoch_eval_accuracy = accuracy
+                        if obs.enabled:
+                            obs.metrics.counter("train.evals").inc()
+                            obs.metrics.gauge("train.eval_accuracy").set(accuracy)
+                        if (
+                            self.best_eval_accuracy is None
+                            or accuracy > self.best_eval_accuracy
+                        ):
+                            self.best_eval_accuracy = accuracy
+                            self.best_eval_step = step
+                            best_state = self.model.state_dict()
             stats = EpochStats(
                 epoch=epoch,
                 mean_loss=float(np.mean(losses)),
                 seconds=time.perf_counter() - start,
+                eval_accuracy=epoch_eval_accuracy,
             )
             self.history.append(stats)
             logger.info(
@@ -150,12 +253,25 @@ class Trainer:
                 callback(self, stats)
         if track_best:
             # Final evaluation so late improvements are not lost.
-            accuracy = self._eval_accuracy()
+            with obs.span("train.eval", step=step):
+                accuracy = self._eval_accuracy()
+            if obs.enabled:
+                obs.metrics.counter("train.evals").inc()
+                obs.metrics.gauge("train.eval_accuracy").set(accuracy)
+            if self.history:
+                self.history[-1].eval_accuracy = accuracy
             if self.best_eval_accuracy is None or accuracy > self.best_eval_accuracy:
                 self.best_eval_accuracy = accuracy
+                self.best_eval_step = step
                 best_state = self.model.state_dict()
             if best_state is not None:
                 self.model.load_state_dict(best_state)
+                logger.info(
+                    "restored best-validation weights: accuracy %.4f from "
+                    "step %d",
+                    self.best_eval_accuracy,
+                    self.best_eval_step,
+                )
         self.model.eval()
         return self.history
 
@@ -178,8 +294,19 @@ def predict_batches(model, batches) -> list[MentionPrediction]:
     results: list[MentionPrediction] = []
     with no_grad():
         for batch in batches:
-            output = model(batch)
-            predicted = model.predictions(batch, output)
+            observing = obs.enabled
+            batch_start = time.perf_counter() if observing else 0.0
+            with obs.span("infer.batch", sentences=len(batch.sentences)):
+                output = model(batch)
+                predicted = model.predictions(batch, output)
+            if observing:
+                obs.metrics.counter("infer.batches").inc()
+                obs.metrics.counter("infer.mentions").inc(
+                    int(batch.mention_mask.sum())
+                )
+                obs.metrics.histogram("infer.batch_seconds").observe(
+                    time.perf_counter() - batch_start
+                )
             # One snapshot per batch instead of per-mention .copy() churn;
             # per-record rows are disjoint views into these snapshots.
             scores = np.array(output.scores.data, dtype=np.float64, copy=True)

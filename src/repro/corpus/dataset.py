@@ -18,6 +18,7 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.corpus.document import Corpus, Sentence
 from repro.corpus.vocab import Vocabulary
 from repro.errors import CorpusError
@@ -45,8 +46,12 @@ class CollateBuffers:
         the previous allocation for ``name`` when the shape matches."""
         array = self._arrays.get(name)
         if array is None or array.shape != shape or array.dtype != np.dtype(dtype):
+            if obs.enabled:
+                obs.metrics.counter("collate_buffers.alloc").inc()
             array = np.empty(shape, dtype=dtype)
             self._arrays[name] = array
+        elif obs.enabled:
+            obs.metrics.counter("collate_buffers.reuse").inc()
         array[...] = fill
         return array
 

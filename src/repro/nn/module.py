@@ -12,8 +12,26 @@ from collections.abc import Iterator
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.errors import SerializationError
 from repro.nn.tensor import Tensor
+
+
+def _named_children(value, name: str):
+    """Yield ``(dotted_name, leaf)`` for Parameters/Modules under ``value``.
+
+    Recurses through arbitrarily nested lists/tuples/dicts (e.g. the
+    per-layer list-of-lists of KG modules), so discovery, serialization
+    and profiling all see the same tree.
+    """
+    if isinstance(value, (Parameter, Module)):
+        yield name, value
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _named_children(item, f"{name}.{i}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _named_children(item, f"{name}.{key}")
 
 
 class Parameter(Tensor):
@@ -34,6 +52,10 @@ class Module:
     serialization.
     """
 
+    # One attribute lookup per call when profiling is off; set per
+    # instance by enable_forward_profiling().
+    _profile_name: str | None = None
+
     def __init__(self) -> None:
         self.training = True
 
@@ -43,42 +65,32 @@ class Module:
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
         """Yield ``(dotted_name, parameter)`` for every trainable leaf."""
         for key, value in vars(self).items():
-            name = f"{prefix}{key}"
-            if isinstance(value, Parameter):
-                yield name, value
-            elif isinstance(value, Module):
-                yield from value.named_parameters(prefix=f"{name}.")
-            elif isinstance(value, (list, tuple)):
-                for i, item in enumerate(value):
-                    if isinstance(item, Parameter):
-                        yield f"{name}.{i}", item
-                    elif isinstance(item, Module):
-                        yield from item.named_parameters(prefix=f"{name}.{i}.")
-            elif isinstance(value, dict):
-                for sub_key, item in value.items():
-                    if isinstance(item, Parameter):
-                        yield f"{name}.{sub_key}", item
-                    elif isinstance(item, Module):
-                        yield from item.named_parameters(prefix=f"{name}.{sub_key}.")
+            for name, leaf in _named_children(value, f"{prefix}{key}"):
+                if isinstance(leaf, Parameter):
+                    yield name, leaf
+                else:
+                    yield from leaf.named_parameters(prefix=f"{name}.")
 
     def parameters(self) -> list[Parameter]:
         """Return all trainable parameters, depth first."""
         return [param for _, param in self.named_parameters()]
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` for this module and descendants.
+
+        The root is yielded under ``prefix`` itself (``""`` by default).
+        """
+        yield prefix, self
+        for key, value in vars(self).items():
+            name = f"{prefix}.{key}" if prefix else key
+            for child_name, leaf in _named_children(value, name):
+                if isinstance(leaf, Module):
+                    yield from leaf.named_modules(prefix=child_name)
+
     def modules(self) -> Iterator["Module"]:
         """Yield this module and every descendant module."""
-        yield self
-        for value in vars(self).values():
-            if isinstance(value, Module):
-                yield from value.modules()
-            elif isinstance(value, (list, tuple)):
-                for item in value:
-                    if isinstance(item, Module):
-                        yield from item.modules()
-            elif isinstance(value, dict):
-                for item in value.values():
-                    if isinstance(item, Module):
-                        yield from item.modules()
+        for _, module in self.named_modules():
+            yield module
 
     def num_parameters(self) -> int:
         """Total number of scalar weights in the module tree."""
@@ -158,7 +170,34 @@ class Module:
             param.data[...] = array
 
     # ------------------------------------------------------------------
+    # Forward profiling (opt-in)
+    # ------------------------------------------------------------------
+    def enable_forward_profiling(self, prefix: str = "") -> "Module":
+        """Record one tracer span per submodule forward call.
+
+        Span names are ``ClassName[dotted.path]`` (e.g.
+        ``Phrase2Ent[phrase2ent.0]``), nesting under whatever span is
+        active when the module is called — with ``repro.obs`` enabled
+        this yields the per-layer Phrase2Ent / Ent2Ent / KG2Ent time
+        breakdown. Costs nothing while ``obs.enabled`` is False.
+        """
+        for name, module in self.named_modules(prefix=prefix):
+            label = type(module).__name__
+            module._profile_name = f"{label}[{name}]" if name else label
+        return self
+
+    def disable_forward_profiling(self) -> "Module":
+        """Remove the per-module span instrumentation."""
+        for _, module in self.named_modules():
+            if "_profile_name" in vars(module):
+                del module._profile_name
+        return self
+
+    # ------------------------------------------------------------------
     def __call__(self, *args, **kwargs):
+        if _obs.enabled and self._profile_name is not None:
+            with _obs.tracer.span(self._profile_name):
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract

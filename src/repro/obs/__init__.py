@@ -1,0 +1,105 @@
+"""repro.obs — zero-dependency observability (metrics + span tracing).
+
+Module-level singletons keep the hot-path contract simple: instrumented
+code guards every recording site with ``if obs.enabled:`` so the
+disabled cost is a single module-attribute check, and the enabled path
+records into :data:`metrics` (a :class:`MetricsRegistry`) and
+:data:`tracer` (a :class:`SpanTracer`).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run training / annotation
+    obs.metrics.export_json("metrics.json")
+    obs.tracer.export_chrome("trace.json")
+
+The CLI wires this up via ``--metrics-out`` / ``--trace-out``; tests use
+:func:`scope` to enable against fresh instruments and restore the
+previous state on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.obs.trace import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "Span",
+    "SpanTracer",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "scope",
+    "metrics",
+    "tracer",
+]
+
+# The one-attribute-check guard. Instrumented hot loops read this
+# directly (``if obs.enabled:``); everything else is behind it.
+enabled: bool = False
+
+metrics = MetricsRegistry()
+tracer = SpanTracer()
+
+_NULL_CONTEXT = nullcontext()
+
+
+def enable() -> None:
+    """Turn recording on (idempotent)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn recording off (idempotent); recorded data is kept."""
+    global enabled
+    enabled = False
+
+
+def reset() -> None:
+    """Clear all recorded metrics and spans."""
+    metrics.reset()
+    tracer.reset()
+
+
+def span(name: str, **args):
+    """A tracer span when enabled, a shared no-op context otherwise."""
+    if not enabled:
+        return _NULL_CONTEXT
+    return tracer.span(name, **args)
+
+
+@contextmanager
+def scope(fresh: bool = True):
+    """Enable observability for a block; restores the prior state.
+
+    With ``fresh`` (the default) the global metrics/tracer are reset on
+    entry so the block observes only its own activity. Yields
+    ``(metrics, tracer)``.
+    """
+    global enabled
+    previous = enabled
+    if fresh:
+        reset()
+    enabled = True
+    try:
+        yield metrics, tracer
+    finally:
+        enabled = previous

@@ -1,0 +1,181 @@
+"""Process-local metrics primitives: counters, gauges, histograms.
+
+Everything here is pure stdlib + numpy-free so the observability layer
+adds zero hard dependencies. Instruments are cheap mutable cells; the
+:class:`MetricsRegistry` is the namespace that owns them, keyed by a
+metric name plus optional labels (``registry.histogram("train.loss",
+epoch=3)`` → key ``train.loss{epoch=3}``).
+
+Histograms keep exact count/sum/min/max plus a fixed-size uniform
+reservoir (Vitter's algorithm R) for quantile estimates, so recording a
+million observations costs O(reservoir) memory. Reservoir replacement
+uses a per-histogram RNG seeded from the metric key, keeping exports
+reproducible run to run for a fixed observation stream.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from pathlib import Path
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar (e.g. current eval accuracy)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution summary with reservoir quantiles."""
+
+    __slots__ = ("count", "total", "min", "max", "reservoir", "_size", "_rng")
+
+    def __init__(self, reservoir_size: int = 1024, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be positive")
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.reservoir: list[float] = []
+        self._size = reservoir_size
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.reservoir) < self._size:
+            self.reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._size:
+                self.reservoir[slot] = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Reservoir quantile with linear interpolation; None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot: exact moments + reservoir quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical registry key: ``name`` or ``name{k1=v1,k2=v2}`` (sorted)."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create namespace for counters, gauges, and histograms.
+
+    Instrument creation is lock-protected; recording on an instrument is
+    a plain attribute update (safe under the GIL for our single-writer
+    pipelines, and never worse than approximate under races).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
+        return instrument
+
+    def histogram(
+        self, name: str, reservoir_size: int = 1024, **labels
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            seed = hash(key) & 0xFFFFFFFF
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(reservoir_size, seed=seed)
+                )
+        return instrument
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Snapshot of every instrument, JSON-serializable."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def export_json(self, path) -> None:
+        """Write the :meth:`to_dict` snapshot to ``path``."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

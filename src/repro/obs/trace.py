@@ -1,0 +1,125 @@
+"""Nested wall-clock span tracing with JSON and Chrome trace export.
+
+A :class:`SpanTracer` records a forest of :class:`Span` trees; spans
+opened while another span is active become its children, so the export
+mirrors the call structure (epoch → step → forward → Phrase2Ent/…).
+
+Two export formats:
+
+- :meth:`SpanTracer.to_dict` — a nested JSON tree with millisecond
+  durations, convenient for programmatic inspection;
+- :meth:`SpanTracer.to_chrome_trace` — the Chrome ``trace_event``
+  format (complete ``"ph": "X"`` events), loadable in
+  ``chrome://tracing`` / Perfetto, where nesting is reconstructed from
+  the timestamps on a shared pid/tid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed region. ``start``/``end`` are ``perf_counter`` seconds."""
+
+    name: str
+    start: float
+    end: float | None = None
+    args: dict = dataclasses.field(default_factory=dict)
+    children: list["Span"] = dataclasses.field(default_factory=list)
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds, or None while the span is still open."""
+        return None if self.end is None else self.end - self.start
+
+
+class SpanTracer:
+    """Context-manager span recorder; one instance per trace."""
+
+    def __init__(self) -> None:
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **args):
+        """Open a span; nests under the innermost active span."""
+        record = Span(name=name, start=time.perf_counter(), args=dict(args))
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self._roots.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end = time.perf_counter()
+            self._stack.pop()
+
+    @property
+    def roots(self) -> list[Span]:
+        return list(self._roots)
+
+    def reset(self) -> None:
+        self._roots = []
+        self._stack = []
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _span_dict(self, span: Span) -> dict:
+        end = span.end if span.end is not None else time.perf_counter()
+        node = {
+            "name": span.name,
+            "start_ms": (span.start - self._epoch) * 1e3,
+            "duration_ms": (end - span.start) * 1e3,
+        }
+        if span.args:
+            node["args"] = span.args
+        if span.children:
+            node["children"] = [self._span_dict(c) for c in span.children]
+        return node
+
+    def to_dict(self) -> dict:
+        """Nested span forest with millisecond timings."""
+        return {"spans": [self._span_dict(s) for s in self._roots]}
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` JSON object (``traceEvents`` key)."""
+        events: list[dict] = []
+
+        def emit(span: Span) -> None:
+            end = span.end if span.end is not None else time.perf_counter()
+            event = {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start - self._epoch) * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": 0,
+                "tid": 0,
+            }
+            if span.args:
+                event["args"] = span.args
+            events.append(event)
+            for child in span.children:
+                emit(child)
+
+        for root in self._roots:
+            emit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_json(self, path) -> None:
+        """Write the nested-tree format to ``path``."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def export_chrome(self, path) -> None:
+        """Write the Chrome ``trace_event`` format to ``path``."""
+        Path(path).write_text(json.dumps(self.to_chrome_trace()) + "\n")

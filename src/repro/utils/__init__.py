@@ -1,6 +1,11 @@
 """Shared utilities: seeded RNG management, logging, tables."""
 
-from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.logging import (
+    JsonLogFormatter,
+    enable_console_logging,
+    get_logger,
+    parse_level,
+)
 from repro.utils.rng import RngStream, spawn_rng
 from repro.utils.tables import format_table
 
@@ -8,6 +13,8 @@ __all__ = [
     "RngStream",
     "spawn_rng",
     "format_table",
+    "JsonLogFormatter",
     "enable_console_logging",
     "get_logger",
+    "parse_level",
 ]

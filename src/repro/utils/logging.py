@@ -3,16 +3,21 @@
 Every module logs through the ``repro`` logger hierarchy; by default the
 library is silent (a :class:`logging.NullHandler` is attached), and
 :func:`enable_console_logging` switches on human-readable progress
-output for scripts and the CLI.
+output for scripts and the CLI — or structured JSON lines (one object
+per record) with ``json_logs=True``, for log shippers.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+import time
 
 ROOT_LOGGER_NAME = "repro"
 
 logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+_LEVEL_NAMES = ("debug", "info", "warning", "error", "critical")
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -22,18 +27,61 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> None:
-    """Attach a stderr handler with a compact format to the repro logger."""
+def parse_level(name: str | int) -> int:
+    """Map a level name (``"info"``, ``"DEBUG"``, …) to its numeric value."""
+    if isinstance(name, int):
+        return name
+    lowered = str(name).strip().lower()
+    if lowered not in _LEVEL_NAMES:
+        raise ValueError(
+            f"unknown log level {name!r}; expected one of {_LEVEL_NAMES}"
+        )
+    return getattr(logging, lowered.upper())
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message (+exc_info)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def _make_formatter(json_logs: bool) -> logging.Formatter:
+    if json_logs:
+        return JsonLogFormatter()
+    return logging.Formatter(
+        "%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S"
+    )
+
+
+def enable_console_logging(
+    level: int = logging.INFO, json_logs: bool = False
+) -> None:
+    """Attach a stderr handler to the repro logger (idempotent).
+
+    Repeated calls reconfigure the existing handler in place — both the
+    level and the formatter — so a later ``json_logs=True`` request is
+    honored instead of silently keeping the first format.
+    """
     logger = logging.getLogger(ROOT_LOGGER_NAME)
     for handler in logger.handlers:
         if isinstance(handler, logging.StreamHandler) and not isinstance(
             handler, logging.NullHandler
         ):
+            handler.setFormatter(_make_formatter(json_logs))
             logger.setLevel(level)
             return
     handler = logging.StreamHandler()
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
-    )
+    handler.setFormatter(_make_formatter(json_logs))
     logger.addHandler(handler)
     logger.setLevel(level)
