@@ -1,0 +1,52 @@
+"""repro.analysis — static invariant linter + runtime model-graph verifier.
+
+Two complementary passes over the codebase's hand-maintained
+invariants (see ``docs/ANALYSIS.md``):
+
+- :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — AST
+  rules over source files (``repro lint <paths>``).
+- :mod:`repro.analysis.model_lint` — instantiates registered models and
+  verifies the live object graph (``repro lint --models``).
+"""
+
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    findings_to_json,
+)
+from repro.analysis.linter import has_errors, lint_file, lint_paths, lint_source
+from repro.analysis.model_lint import (
+    check_dtype_consistency,
+    check_grad_flow,
+    check_registration,
+    check_state_dict_round_trip,
+    register_model,
+    registered_models,
+    verify_module,
+    verify_registered_models,
+    walk_parameter_leaves,
+)
+from repro.analysis.rules import RULES, all_rule_ids
+
+__all__ = [
+    "Finding",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "findings_to_json",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "has_errors",
+    "RULES",
+    "all_rule_ids",
+    "walk_parameter_leaves",
+    "check_registration",
+    "check_grad_flow",
+    "check_state_dict_round_trip",
+    "check_dtype_consistency",
+    "verify_module",
+    "register_model",
+    "registered_models",
+    "verify_registered_models",
+]

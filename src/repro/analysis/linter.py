@@ -1,0 +1,146 @@
+"""File walking, rule scoping and suppression handling for ``repro lint``.
+
+Scoping
+-------
+Files inside the ``repro`` package are categorized by subpackage:
+modeling rules (RA201/RA301) only apply under ``nn``/``core``/``text``/
+``baselines``/``downstream``, the obs-guard rules skip ``repro/obs``
+(the instrumentation itself), and ``nn/tensor.py`` — which *defines*
+the dtype policy — is exempt from RA201. Files outside the package
+(lint fixtures, benchmarks, examples) get every rule.
+
+Suppression
+-----------
+A finding is suppressed by a comment on its reported line::
+
+    scores = np.array(x, dtype=np.float64)  # repro-lint: disable=RA201 reason
+
+``# repro-lint: disable`` without ids suppresses every rule on that
+line. Suppressions are deliberately line-scoped: blanket file-level
+opt-outs would defeat the point of the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from repro.analysis.rules import RULES, FileContext
+
+MODELING_SUBPACKAGES = frozenset(
+    {"nn", "core", "text", "baselines", "downstream"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable\b(?P<ids>[^#]*)")
+_RULE_ID_RE = re.compile(r"RA\d+")
+
+
+def _classify(path: Path) -> dict[str, bool]:
+    """Derive the rule-scoping flags from a file's package location."""
+    parts = path.parts
+    if "repro" not in parts:
+        return {
+            "is_modeling": True,
+            "is_obs_package": False,
+            "defines_dtype_policy": False,
+        }
+    index = len(parts) - 1 - parts[::-1].index("repro")
+    subpackage = parts[index + 1] if index + 1 < len(parts) - 1 else ""
+    return {
+        "is_modeling": subpackage in MODELING_SUBPACKAGES,
+        "is_obs_package": subpackage == "obs",
+        "defines_dtype_policy": subpackage == "nn" and path.name == "tensor.py",
+    }
+
+
+def _suppressed_rules(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (None = all rules)."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        ids = frozenset(_RULE_ID_RE.findall(match.group("ids")))
+        suppressions[lineno] = ids or None
+    return suppressions
+
+
+def lint_source(source: str, path: str, **flags: bool) -> list[Finding]:
+    """Lint one in-memory source blob (used directly by tests)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="RA000",
+                path=path,
+                line=error.lineno or 0,
+                column=error.offset or 0,
+                message=f"syntax error: {error.msg}",
+                severity=SEVERITY_ERROR,
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree, **flags)
+    findings: list[Finding] = []
+    for rule in RULES:
+        findings.extend(rule.check(ctx))
+
+    suppressions = _suppressed_rules(source)
+    kept = []
+    for finding in findings:
+        ids = suppressions.get(finding.line, frozenset())
+        if ids is None or finding.rule in (ids or frozenset()):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def lint_file(path: Path) -> list[Finding]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), **_classify(path))
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(
+                p
+                for p in sorted(entry.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif entry.suffix == ".py":
+            files.append(entry)
+    return files
+
+
+def lint_paths(paths: list[str | Path], warn_only: bool = False) -> list[Finding]:
+    """Lint every ``*.py`` under ``paths``; directories recurse.
+
+    ``warn_only`` downgrades every finding to a warning, for trees that
+    are advisory in CI (benchmarks, examples).
+    """
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path))
+    if warn_only:
+        findings = [
+            Finding(
+                rule=f.rule,
+                path=f.path,
+                line=f.line,
+                column=f.column,
+                message=f.message,
+                severity=SEVERITY_WARNING,
+            )
+            for f in findings
+        ]
+    return findings
+
+
+def has_errors(findings: list[Finding]) -> bool:
+    return any(f.severity == SEVERITY_ERROR for f in findings)

@@ -7,6 +7,7 @@ Subcommands cover the full lifecycle a downstream user needs:
 - ``repro train``           — train Bootleg (or an ablation) and save it
 - ``repro evaluate``        — bucketed F1 of a saved model on a split
 - ``repro annotate``        — disambiguate free text with a saved model
+- ``repro lint``            — invariant linter + model-graph verifier
 
 Models are saved as self-contained checkpoints: the npz carries the
 model config, the vocabulary, and the entity counts, so ``evaluate`` and
@@ -270,6 +271,42 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: static invariant linter + runtime model verifier.
+
+    Exit code 0 when no error-severity findings remain, 1 otherwise
+    (always 0 with ``--warn-only``). See docs/ANALYSIS.md for the rule
+    catalogue and the suppression syntax.
+    """
+    from repro.analysis import (
+        RULES,
+        findings_to_json,
+        has_errors,
+        lint_paths,
+        verify_registered_models,
+    )
+    from repro.analysis.rules import DERIVED_RULE_IDS
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id} {rule.name}: {rule.summary}")
+        for rule_id, summary in sorted(DERIVED_RULE_IDS.items()):
+            print(f"{rule_id} {summary}")
+        return 0
+    findings = lint_paths(args.paths, warn_only=args.warn_only)
+    if args.models:
+        findings = findings + verify_registered_models()
+    if args.json:
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        label = "error(s)" if has_errors(findings) else "warning(s)"
+        if findings:
+            print(f"{len(findings)} {label}", file=sys.stderr)
+    return 1 if has_errors(findings) else 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
@@ -328,6 +365,33 @@ def build_parser() -> argparse.ArgumentParser:
     annotate_parser.add_argument("--model", required=True)
     annotate_parser.add_argument("--text", required=True)
     annotate_parser.set_defaults(func=cmd_annotate)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the invariant linter (and optionally the model verifier)",
+        parents=[telemetry],
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a JSON document on stdout",
+    )
+    lint_parser.add_argument(
+        "--warn-only", action="store_true",
+        help="downgrade findings to warnings (exit 0; for benchmarks/examples)",
+    )
+    lint_parser.add_argument(
+        "--models", action="store_true",
+        help="also instantiate and verify every registered model",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -153,6 +153,23 @@ class EntityEmbedder(Module):
             take("page", 1)
         return segments
 
+    # Any parameter mutation must drop the cache — also when the
+    # embedder is used standalone, not just via BootlegModel's
+    # overrides (which mutate our parameters without calling these).
+    def train(self) -> "EntityEmbedder":
+        super().train()
+        self.invalidate_static_cache()
+        return self
+
+    def load_state_dict(self, state) -> None:
+        super().load_state_dict(state)
+        self.invalidate_static_cache()
+
+    def to_dtype(self, dtype) -> "EntityEmbedder":
+        super().to_dtype(dtype)
+        self.invalidate_static_cache()
+        return self
+
     def invalidate_static_cache(self) -> None:
         """Drop the precomputed payload (parameters changed)."""
         if obs.enabled and self._static_cache is not None:

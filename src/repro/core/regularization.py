@@ -52,7 +52,9 @@ class RegularizationScheme:
 
     def probabilities(self, counts: np.ndarray) -> np.ndarray:
         """p(e) for each entity given its training gold-mention count."""
-        counts = np.asarray(counts, dtype=np.float64)
+        # Masking probabilities feed an RNG comparison, not activations;
+        # they stay float64 independent of the compute-dtype policy.
+        counts = np.asarray(counts, dtype=np.float64)  # repro-lint: disable=RA201
         if (counts < 0).any():
             raise ConfigError("entity counts must be non-negative")
         if self.name == "none":

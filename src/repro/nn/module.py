@@ -14,7 +14,7 @@ import numpy as np
 
 import repro.obs as _obs
 from repro.errors import SerializationError
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import DEFAULT_DTYPE, FAST_DTYPE, Tensor
 
 
 def _named_children(value, name: str):
@@ -135,12 +135,12 @@ class Module:
         return self
 
     def half_precision(self) -> "Module":
-        """Cast parameters to float32 for the inference fast path."""
-        return self.to_dtype(np.float32)
+        """Cast parameters to the fast-path dtype (float32) for inference."""
+        return self.to_dtype(FAST_DTYPE)
 
     def full_precision(self) -> "Module":
-        """Cast parameters back to the float64 training default."""
-        return self.to_dtype(np.float64)
+        """Cast parameters back to the training default (float64)."""
+        return self.to_dtype(DEFAULT_DTYPE)
 
     # ------------------------------------------------------------------
     # Serialization

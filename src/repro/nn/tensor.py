@@ -35,6 +35,10 @@ import numpy as np
 from repro.errors import GradientError, ShapeError
 
 DEFAULT_DTYPE = np.float64
+# The reduced-precision dtype of the inference fast path; modeling code
+# must reference these constants (or get_compute_dtype()) instead of
+# hard-coding numpy float literals — enforced by `repro lint` (RA201).
+FAST_DTYPE = np.float32
 
 _GRAD_ENABLED = True
 _COMPUTE_DTYPE = np.dtype(DEFAULT_DTYPE)

@@ -10,12 +10,12 @@ import numpy as np
 
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import DEFAULT_DTYPE, Tensor
 
 
 def sinusoidal_position_encoding(max_len: int, dim: int) -> np.ndarray:
     """The sin/cos positional encoding of Vaswani et al., shape (max_len, dim)."""
-    positions = np.arange(max_len)[:, None].astype(np.float64)
+    positions = np.arange(max_len)[:, None].astype(DEFAULT_DTYPE)
     div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
     encoding = np.zeros((max_len, dim))
     encoding[:, 0::2] = np.sin(positions * div)

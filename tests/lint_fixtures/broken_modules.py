@@ -1,0 +1,53 @@
+"""Runtime fixtures for the model-graph verifier tests.
+
+Two of these are intentionally broken — :class:`UnregisteredParamNet`
+hides a parameter in a set (invisible to ``_named_children``) and
+:class:`DeadParamNet` registers a parameter its forward never touches.
+``tests/test_analysis.py`` asserts the verifier flags both, and that the
+well-formed :class:`NestedContainerNet` passes every check.
+"""
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+
+
+class UnregisteredParamNet(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.proj = Linear(4, 4, rng)
+        # BUG (intentional): sets are invisible to _named_children.
+        self.extras = {Parameter(np.ones((4, 4)))}
+
+    def forward(self, x):
+        return self.proj(x)
+
+
+class DeadParamNet(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.proj = Linear(4, 4, rng)
+        # BUG (intentional): registered but never used in forward.
+        self.dead = Parameter(np.ones(4))
+
+    def forward(self, x):
+        return self.proj(x)
+
+
+class NestedContainerNet(Module):
+    """Well-formed: parameters nested in lists-of-lists and dicts."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.blocks = [
+            [Linear(4, 4, rng)],
+            [Linear(4, 4, rng), Linear(4, 4, rng)],
+        ]
+        self.heads = {"a": Linear(4, 2, rng), "b": [Linear(4, 2, rng)]}
+
+    def forward(self, x):
+        for row in self.blocks:
+            for block in row:
+                x = block(x)
+        return self.heads["a"](x) + self.heads["b"][0](x)

@@ -1,0 +1,12 @@
+"""Lint fixture: RA101 orphan-param.
+
+Never imported — the linter analyzes this file as source only, so the
+bare ``Module``/``Linear`` names need no imports.
+"""
+
+
+class OrphanNet(Module):  # noqa: F821
+    def __init__(self, rng):
+        super().__init__()
+        hidden = Linear(4, 4, rng)  # noqa: F821 — never reaches self.*
+        self.scale = 2.0

@@ -1,0 +1,8 @@
+"""Lint fixture: RA102 param-in-set (never imported, AST-only)."""
+
+
+class SetNet(Module):  # noqa: F821
+    def __init__(self, rng):
+        super().__init__()
+        # Assigned to self, but _named_children does not traverse sets.
+        self.blocks = {Linear(4, 4, rng)}  # noqa: F821

@@ -1,0 +1,11 @@
+"""Lint fixture: RA201 dtype-literal (two findings)."""
+
+import numpy as np
+
+
+def project(x):
+    return np.asarray(x, dtype=np.float64)
+
+
+def half(x):
+    return x.astype(dtype="float32")

@@ -1,0 +1,8 @@
+"""Lint fixture: RA301 unguarded-fast-path (never imported, AST-only)."""
+
+
+class FusedNet(Module):  # noqa: F821
+    def forward(self, x):
+        # Raw-buffer fast path with no is_grad_enabled()/training check.
+        raw = x.data
+        return raw @ raw

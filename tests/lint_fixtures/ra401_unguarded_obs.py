@@ -1,0 +1,8 @@
+"""Lint fixture: RA401 unguarded-obs."""
+
+import repro.obs as obs
+
+
+def run(batch):
+    obs.metrics.counter("infer.batches").inc()
+    return batch

@@ -1,0 +1,8 @@
+"""Lint fixture: RA402 dynamic-metric-name (guarded, so no RA401)."""
+
+import repro.obs as obs
+
+
+def run(name):
+    if obs.enabled:
+        obs.metrics.counter(f"infer.{name}").inc()

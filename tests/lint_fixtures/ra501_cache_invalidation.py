@@ -1,0 +1,12 @@
+"""Lint fixture: RA501 cache-invalidation (three findings: no train /
+load_state_dict / to_dtype override at all)."""
+
+
+class CachedNet(Module):  # noqa: F821
+    def __init__(self, rng):
+        super().__init__()
+        self.proj = Linear(4, 4, rng)  # noqa: F821
+        self._payload_cache = None
+
+    def forward(self, x):
+        return self.proj(x)

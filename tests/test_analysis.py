@@ -1,0 +1,195 @@
+"""Tests for repro.analysis: the AST linter and the model-graph verifier."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_dtype_consistency,
+    check_grad_flow,
+    check_registration,
+    check_state_dict_round_trip,
+    findings_to_json,
+    has_errors,
+    lint_file,
+    lint_paths,
+    lint_source,
+    verify_module,
+    walk_parameter_leaves,
+)
+from repro.nn.tensor import Tensor
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def _load_broken_modules():
+    spec = importlib.util.spec_from_file_location(
+        "lint_fixture_broken_modules", FIXTURES / "broken_modules.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+broken = _load_broken_modules()
+
+
+def _probe(module):
+    x = Tensor(np.ones((3, 4)))
+    return module(x).sum()
+
+
+# ----------------------------------------------------------------------
+# Fixture corpus: each file fires exactly its rule
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "filename, rule, count",
+    [
+        ("ra101_orphan_param.py", "RA101", 1),
+        ("ra102_param_in_set.py", "RA102", 1),
+        ("ra201_dtype_literal.py", "RA201", 2),
+        ("ra301_unguarded_fast_path.py", "RA301", 1),
+        ("ra401_unguarded_obs.py", "RA401", 1),
+        ("ra402_dynamic_metric_name.py", "RA402", 1),
+        ("ra501_cache_invalidation.py", "RA501", 3),
+    ],
+)
+def test_fixture_fires_exactly_its_rule(filename, rule, count):
+    findings = lint_file(FIXTURES / filename)
+    assert [f.rule for f in findings] == [rule] * count, [
+        f.format() for f in findings
+    ]
+    assert all(f.line > 0 for f in findings)
+
+
+def test_suppressed_fixture_is_clean():
+    assert lint_file(FIXTURES / "clean_suppressed.py") == []
+
+
+def test_suppression_is_line_scoped():
+    source = (
+        "import numpy as np\n"
+        "a = np.float64(1.0)  # repro-lint: disable=RA201\n"
+        "b = np.float64(2.0)\n"
+    )
+    findings = lint_source(source, "blob.py", is_modeling=True)
+    assert [(f.rule, f.line) for f in findings] == [("RA201", 3)]
+
+
+def test_syntax_error_reports_ra000():
+    findings = lint_source("def broken(:\n", "blob.py")
+    assert [f.rule for f in findings] == ["RA000"]
+
+
+def test_repo_tree_is_clean():
+    findings = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert not has_errors(findings), [f.format() for f in findings]
+
+
+def test_findings_json_shape():
+    findings = lint_file(FIXTURES / "ra201_dtype_literal.py")
+    payload = json.loads(findings_to_json(findings))
+    assert payload["count"] == 2
+    assert payload["errors"] == 2
+    entry = payload["findings"][0]
+    assert entry["rule"] == "RA201"
+    assert entry["path"].endswith("ra201_dtype_literal.py")
+
+
+# ----------------------------------------------------------------------
+# Model-graph verifier
+# ----------------------------------------------------------------------
+def test_verifier_flags_unregistered_param_in_set():
+    rng = np.random.default_rng(0)
+    module = broken.UnregisteredParamNet(rng)
+    leaves = dict(walk_parameter_leaves(module))
+    assert any(name.startswith("extras.") for name in leaves)
+    findings = check_registration(module, name="unregistered")
+    assert len(findings) == 1
+    assert "extras" in findings[0].message
+    assert "named_parameters" in findings[0].message
+
+
+def test_verifier_flags_dead_param():
+    rng = np.random.default_rng(0)
+    module = broken.DeadParamNet(rng)
+    findings = check_grad_flow(module, _probe, name="dead")
+    assert len(findings) == 1
+    assert "'dead'" in findings[0].message
+
+
+def test_verifier_allow_no_grad_waives_dead_param():
+    rng = np.random.default_rng(0)
+    module = broken.DeadParamNet(rng)
+    assert check_grad_flow(module, _probe, allow_no_grad=("dead",)) == []
+
+
+def test_verifier_clean_on_nested_containers():
+    rng = np.random.default_rng(0)
+    module = broken.NestedContainerNet(rng)
+    findings = verify_module(module, probe=_probe, name="nested")
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_state_dict_round_trip_through_nested_containers():
+    rng = np.random.default_rng(1)
+    module = broken.NestedContainerNet(rng)
+    state = module.state_dict()
+    # Dotted names traverse lists-of-lists and dicts.
+    assert "blocks.0.0.weight" in state
+    assert "blocks.1.1.bias" in state
+    assert "heads.a.weight" in state
+    assert "heads.b.0.weight" in state
+    fresh = broken.NestedContainerNet(np.random.default_rng(2))
+    before = fresh.heads["a"].weight.data.copy()
+    assert not np.array_equal(before, module.heads["a"].weight.data)
+    fresh.load_state_dict(state)
+    for key, param in fresh.named_parameters():
+        assert np.array_equal(param.data, state[key])
+    assert check_state_dict_round_trip(module) == []
+
+
+def test_dtype_consistency_on_nested_containers():
+    rng = np.random.default_rng(3)
+    module = broken.NestedContainerNet(rng)
+    assert check_dtype_consistency(module) == []
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+def _run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_cli_exit_nonzero_on_fixture_corpus():
+    result = _run_cli(str(FIXTURES / "ra101_orphan_param.py"), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["errors"] == 1
+    assert payload["findings"][0]["rule"] == "RA101"
+
+
+def test_cli_exit_zero_on_clean_tree():
+    result = _run_cli("src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_warn_only_exit_zero():
+    result = _run_cli(str(FIXTURES / "ra201_dtype_literal.py"), "--warn-only")
+    assert result.returncode == 0, result.stdout + result.stderr
