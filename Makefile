@@ -1,7 +1,7 @@
 # Convenience targets for the Bootleg reproduction.
 
 .PHONY: install test lint check bench bench-core bench-core-baseline \
-	bench-fresh obs-demo examples clean-cache
+	bench-fresh bench-parallel obs-demo examples clean-cache
 
 install:
 	pip install -e .
@@ -22,9 +22,14 @@ lint:
 		echo "ruff not installed; skipping style pass"; \
 	fi
 
-# CI gate: invariants first, then the tier-1 test suite.
+# CI gate: invariants first, then the tier-1 test suite, then the
+# parallel layer again under the strict spawn start method (everything
+# crossing the process boundary must pickle; nothing may rely on
+# fork-inherited state).
 check: lint
 	PYTHONPATH=src python -m pytest -x -q
+	REPRO_PARALLEL_START_METHOD=spawn PYTHONPATH=src \
+		python -m pytest tests/test_parallel.py -x -q
 
 test-report:
 	pytest tests/ 2>&1 | tee test_output.txt
@@ -51,11 +56,22 @@ bench-core-baseline:
 	pytest benchmarks/bench_perf_core.py --benchmark-only \
 		--benchmark-json=benchmarks/bench_core_baseline.json
 
+# Annotator-pool and prefetch speedup vs. the serial path; asserts
+# byte-identical outputs and bounded shared-memory overhead, and gates
+# the 2x-speedup floor on having >= 4 usable cores (see the script).
+bench-parallel:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src python benchmarks/bench_parallel.py \
+		--out benchmarks/results/bench_parallel.json
+
 # Emit a sample telemetry bundle (metrics JSON + Chrome trace) from the
-# quickstart example; load obs_trace.json in chrome://tracing.
+# quickstart example into benchmarks/results/; load the trace in
+# chrome://tracing.
 obs-demo:
+	mkdir -p benchmarks/results
 	PYTHONPATH=src python examples/quickstart.py \
-		--metrics-out obs_metrics.json --trace-out obs_trace.json
+		--metrics-out benchmarks/results/obs_metrics.json \
+		--trace-out benchmarks/results/obs_trace.json
 
 # Drop all cached trained models so benches retrain from scratch.
 clean-cache:

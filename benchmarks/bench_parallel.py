@@ -1,0 +1,207 @@
+"""Annotator-pool throughput vs. the serial annotation path.
+
+Times ``BootlegAnnotator.annotate_batch`` against
+``AnnotatorPool.annotate_batch`` on the same replicated synthetic
+workload (float32 fast path, static payload cache), asserts the two
+paths return byte-identical annotations, and checks that the
+shared-memory payload plane actually shares: the private (copied)
+resident pages of the shm mapping in each worker must stay under 25%
+of the payload size.
+
+The >= ``--min-speedup`` floor is only enforced when the machine has at
+least 4 usable cores — on smaller boxes the numbers are still printed
+and recorded, but multiprocess speedup is physically unavailable, so
+the run warns instead of failing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --out benchmarks/results/bench_parallel.json
+
+The JSON output uses the pytest-benchmark shape
+(``{"benchmarks": [{"name", "stats": {"mean"}}]}``) so
+``compare_to_baseline.py`` can consume it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import re
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_perf_core import build_perf_setup, make_annotator  # noqa: E402
+
+from repro.corpus.tokenizer import tokenize  # noqa: E402
+from repro.nn.tensor import compute_dtype  # noqa: E402
+from repro.parallel import AnnotatorPool, shared_memory_available  # noqa: E402
+
+_SMAPS_HEADER = re.compile(r"^[0-9a-f]+-[0-9a-f]+\s")
+
+
+def _measure(fn, repeat: int) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_identical(serial, parallel) -> None:
+    if len(serial) != len(parallel):
+        raise AssertionError(
+            f"document count mismatch: {len(serial)} != {len(parallel)}"
+        )
+    for index, (doc_a, doc_b) in enumerate(zip(serial, parallel)):
+        a = [dataclasses.asdict(m) for m in doc_a]
+        b = [dataclasses.asdict(m) for m in doc_b]
+        if a != b:
+            raise AssertionError(f"annotations diverge at document {index}")
+
+
+def _shm_private_bytes(pids: list[int], block_name: str) -> int:
+    """Privately-resident bytes of the shm mapping across ``pids``.
+
+    Parses ``/proc/<pid>/smaps``; a worker that truly shares the payload
+    shows the block's pages as Shared_Clean, so Private_Clean +
+    Private_Dirty stays near zero.
+    """
+    total_kb = 0
+    for pid in pids:
+        try:
+            lines = Path(f"/proc/{pid}/smaps").read_text().splitlines()
+        except OSError:
+            continue
+        in_block = False
+        for line in lines:
+            if _SMAPS_HEADER.match(line):
+                in_block = block_name in line
+                continue
+            if in_block and line.startswith(("Private_Clean:", "Private_Dirty:")):
+                total_kb += int(line.split()[1])
+    return total_kb * 1024
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write pytest-benchmark-shaped JSON here")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=6,
+                        help="how many times to replicate the base texts")
+    args = parser.parse_args(argv)
+
+    if not shared_memory_available():
+        print("warning: POSIX shared memory unavailable; nothing to bench",
+              file=sys.stderr)
+        return 0
+
+    cores = len(os.sched_getaffinity(0))
+    print(f"building workload ({cores} usable cores)...")
+    setup = build_perf_setup()
+    model = setup["model32"]
+    annotator = make_annotator(setup, model)
+    base = [t for t in setup["texts"] if annotator.detect_mentions(tokenize(t))]
+    texts = base * args.replicas
+    print(f"{len(texts)} documents ({len(base)} unique), "
+          f"{args.workers} workers, best of {args.repeat}")
+
+    failures: list[str] = []
+    with compute_dtype(np.float32):
+        annotator.annotate_batch(texts[:8])  # warm the payload cache
+        serial_seconds, serial_out = _measure(
+            lambda: annotator.annotate_batch(texts), args.repeat
+        )
+        with AnnotatorPool.from_annotator(annotator, args.workers) as pool:
+            if pool.serial:
+                print("warning: pool fell back to serial mode", file=sys.stderr)
+                return 1
+            pool.annotate_batch(texts[:8])  # per-worker warmup round
+            pool_seconds, pool_out = _measure(
+                lambda: pool.annotate_batch(texts), args.repeat
+            )
+            _assert_identical(serial_out, pool_out)
+            print("outputs: byte-identical to serial")
+
+            manifest = pool._store.manifest
+            pids = [p.pid for p in pool._procs if p is not None and p.is_alive()]
+            private = _shm_private_bytes(pids, manifest.block_name)
+            per_worker = private / max(1, len(pids))
+            payload = manifest.total_bytes
+            print(
+                f"shm payload {payload / 1e6:.2f} MB; private copies "
+                f"{per_worker / 1e6:.3f} MB/worker "
+                f"({per_worker / payload:.1%} of payload)"
+            )
+            if per_worker >= 0.25 * payload:
+                failures.append(
+                    f"shm overhead {per_worker / payload:.1%} per worker "
+                    "exceeds the 25% sharing budget"
+                )
+
+    speedup = serial_seconds / pool_seconds
+    docs_per_sec_serial = len(texts) / serial_seconds
+    docs_per_sec_pool = len(texts) / pool_seconds
+    print(f"serial: {serial_seconds:.3f}s ({docs_per_sec_serial:.1f} docs/s)")
+    print(f"pool  : {pool_seconds:.3f}s ({docs_per_sec_pool:.1f} docs/s)")
+    print(f"speedup: {speedup:.2f}x")
+
+    if cores >= 4:
+        if speedup < args.min_speedup:
+            failures.append(
+                f"speedup {speedup:.2f}x below the {args.min_speedup:.1f}x "
+                f"floor on a {cores}-core machine"
+            )
+    else:
+        print(
+            f"warning: only {cores} usable core(s); the "
+            f"{args.min_speedup:.1f}x floor is not enforced here",
+            file=sys.stderr,
+        )
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        report = {
+            "machine_info": {"usable_cores": cores},
+            "benchmarks": [
+                {
+                    "name": "annotate_batch_serial",
+                    "stats": {"mean": serial_seconds},
+                },
+                {
+                    "name": f"annotate_batch_pool{args.workers}",
+                    "stats": {"mean": pool_seconds},
+                },
+            ],
+            "extra": {
+                "documents": len(texts),
+                "workers": args.workers,
+                "speedup": speedup,
+                "shm_payload_bytes": payload,
+                "shm_private_bytes_per_worker": per_worker,
+                "byte_identical": True,
+            },
+        }
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,8 +45,17 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_means(args.baseline)
     common = sorted(set(current) & set(baseline))
     if not common:
-        print("error: no common benchmarks between the two runs", file=sys.stderr)
-        return 2
+        # A brand-new bench suite has no baseline entries yet; that is a
+        # warning, not a failure — the baseline catches up on its next
+        # explicit refresh.
+        print(
+            "warning: no common benchmarks between the two runs; "
+            "baseline predates this suite, nothing to compare",
+            file=sys.stderr,
+        )
+        for name in sorted(current):
+            print(f"{name}: not in baseline (skipped)")
+        return 0
 
     failures = []
     width = max(len(name) for name in common)

@@ -5,9 +5,10 @@ Scoping
 Files inside the ``repro`` package are categorized by subpackage:
 modeling rules (RA201/RA301) only apply under ``nn``/``core``/``text``/
 ``baselines``/``downstream``, the obs-guard rules skip ``repro/obs``
-(the instrumentation itself), and ``nn/tensor.py`` — which *defines*
-the dtype policy — is exempt from RA201. Files outside the package
-(lint fixtures, benchmarks, examples) get every rule.
+(the instrumentation itself), ``nn/tensor.py`` — which *defines* the
+dtype policy — is exempt from RA201, and ``repro/parallel`` — the one
+blessed fork-safety path — is exempt from RA601. Files outside the
+package (lint fixtures, benchmarks, examples) get every rule.
 
 Suppression
 -----------
@@ -45,6 +46,7 @@ def _classify(path: Path) -> dict[str, bool]:
             "is_modeling": True,
             "is_obs_package": False,
             "defines_dtype_policy": False,
+            "is_parallel_package": False,
         }
     index = len(parts) - 1 - parts[::-1].index("repro")
     subpackage = parts[index + 1] if index + 1 < len(parts) - 1 else ""
@@ -52,6 +54,7 @@ def _classify(path: Path) -> dict[str, bool]:
         "is_modeling": subpackage in MODELING_SUBPACKAGES,
         "is_obs_package": subpackage == "obs",
         "defines_dtype_policy": subpackage == "nn" and path.name == "tensor.py",
+        "is_parallel_package": subpackage == "parallel",
     }
 
 

@@ -49,6 +49,13 @@ only held by code review into machine-checked invariants:
     (``*cache*``, except ``*_enabled`` flags) must override ``train``,
     ``load_state_dict`` and ``to_dtype`` and invalidate the cache in
     each — every parameter mutation must drop derived state.
+
+``RA601`` raw-multiprocessing
+    ``multiprocessing`` (and its submodules) may only be imported inside
+    ``repro.parallel`` — the one blessed fork-safety path. Ad-hoc
+    process fan-out elsewhere bypasses the shared-memory payload plane,
+    the start-method policy, and the crash/retry handling the pool
+    provides.
 """
 
 from __future__ import annotations
@@ -112,6 +119,8 @@ class FileContext:
     is_obs_package: bool = False
     # nn/tensor.py defines the dtype policy itself.
     defines_dtype_policy: bool = False
+    # repro.parallel is the one place allowed to import multiprocessing.
+    is_parallel_package: bool = False
 
     def __post_init__(self) -> None:
         for node in ast.walk(self.tree):
@@ -597,6 +606,44 @@ def check_cache_invalidation(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RA601 — multiprocessing only through repro.parallel
+# ----------------------------------------------------------------------
+def check_multiprocessing_imports(ctx: FileContext) -> list[Finding]:
+    """RA601 raw-multiprocessing."""
+    if ctx.is_parallel_package:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root == "multiprocessing":
+                    findings.append(
+                        ctx.finding(
+                            "RA601",
+                            node,
+                            f"import of {alias.name!r} outside repro.parallel; "
+                            "process fan-out must go through the pool/shm "
+                            "layer in repro.parallel (one blessed fork-safety "
+                            "path)",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "multiprocessing" or module.startswith("multiprocessing."):
+                findings.append(
+                    ctx.finding(
+                        "RA601",
+                        node,
+                        f"import from {module!r} outside repro.parallel; "
+                        "process fan-out must go through the pool/shm layer "
+                        "in repro.parallel (one blessed fork-safety path)",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
@@ -637,6 +684,12 @@ RULES: tuple[Rule, ...] = (
         "cache-invalidation",
         "cache-bearing modules must invalidate in train/load_state_dict/to_dtype",
         check_cache_invalidation,
+    ),
+    Rule(
+        "RA601",
+        "raw-multiprocessing",
+        "multiprocessing may only be imported inside repro.parallel",
+        check_multiprocessing_imports,
     ),
 )
 

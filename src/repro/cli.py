@@ -178,6 +178,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             learning_rate=args.learning_rate,
             seed=args.seed,
+            prefetch_batches=args.prefetch,
         ),
     )
     history = trainer.train()
@@ -226,7 +227,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         corpus, args.split, vocab, world.candidate_map,
         config.num_candidates, kgs=[world.kg],
     )
-    records = predict(model, dataset)
+    if args.workers > 1:
+        from repro.parallel import predict_batches as parallel_predict
+
+        records = parallel_predict(
+            model, dataset.batches(64), workers=args.workers
+        )
+    else:
+        records = predict(model, dataset)
     buckets = f1_by_bucket(records, counts)
     sizes = mentions_by_bucket(records, counts)
     rows = [
@@ -256,7 +264,13 @@ def cmd_annotate(args: argparse.Namespace) -> int:
         model, vocab, world.candidate_map, world.kb,
         kgs=[world.kg], num_candidates=config.num_candidates,
     )
-    annotations = annotator.annotate(args.text)
+    if args.workers > 1:
+        from repro.parallel import AnnotatorPool
+
+        with AnnotatorPool.from_annotator(annotator, args.workers) as pool:
+            annotations = pool.annotate_batch([args.text])[0]
+    else:
+        annotations = annotator.annotate(args.text)
     if not annotations:
         print("no known mentions found")
         return 0
@@ -346,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("--learning-rate", type=float, default=3e-3)
     train_parser.add_argument("--candidates", type=int, default=6)
     train_parser.add_argument("--seed", type=int, default=0)
+    train_parser.add_argument(
+        "--prefetch", type=int, default=0, metavar="DEPTH",
+        help="collate batches on a background thread, keeping up to DEPTH "
+             "batches queued ahead of the optimizer (0 = inline)",
+    )
     train_parser.add_argument("--out", required=True)
     train_parser.set_defaults(func=cmd_train)
 
@@ -356,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
     eval_parser.add_argument("--corpus", required=True)
     eval_parser.add_argument("--model", required=True)
     eval_parser.add_argument("--split", default="val", choices=("train", "val", "test"))
+    eval_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard prediction batches across this many worker processes "
+             "(1 = in-process serial path)",
+    )
     eval_parser.set_defaults(func=cmd_evaluate)
 
     annotate_parser = sub.add_parser(
@@ -364,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
     annotate_parser.add_argument("--world", required=True)
     annotate_parser.add_argument("--model", required=True)
     annotate_parser.add_argument("--text", required=True)
+    annotate_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="serve annotation from a pool of this many worker processes "
+             "(1 = in-process serial path)",
+    )
     annotate_parser.set_defaults(func=cmd_annotate)
 
     lint_parser = sub.add_parser(

@@ -138,6 +138,10 @@ class BootlegAnnotator:
                 f"mention_spans has {len(mention_spans)} entries "
                 f"for {len(texts)} texts"
             )
+        if not texts:
+            # No documents: skip the span and the batch-latency metrics
+            # entirely so empty probes don't pollute serving telemetry.
+            return []
         with obs.span("annotator.annotate_batch", documents=len(texts)):
             return self._annotate_batch(texts, mention_spans)
 

@@ -58,3 +58,13 @@ class TrainingError(ReproError):
 
 class SerializationError(ReproError):
     """A model checkpoint could not be saved or loaded."""
+
+
+class ParallelError(ReproError):
+    """The parallel execution layer failed (worker crash, shm export)."""
+
+    def __init__(self, message: str, task_errors: dict[int, str] | None = None) -> None:
+        super().__init__(message)
+        # task index -> last error text; structured so callers can tell
+        # which chunks failed after the retry budget was exhausted.
+        self.task_errors = dict(task_errors or {})

@@ -1,0 +1,140 @@
+"""Prefetching batch pipeline for training.
+
+Batch collation (token padding, candidate gathering, adjacency
+stacking) is pure-numpy work that competes with the optimizer step for
+the same core when done inline. :func:`prefetch_batches` moves collation
+onto a background producer thread with a bounded queue, so batch ``i+1``
+is being collated while the optimizer is still chewing on batch ``i``.
+
+Buffer-reuse safety: ``NedDataset.batches`` normally reuses one
+:class:`~repro.corpus.dataset.CollateBuffers` arena, which would let the
+producer overwrite arrays the consumer is still training on. The
+prefetcher instead hands the dataset a *ring* of ``depth + 2`` arenas —
+with a queue of at most ``depth`` pending batches plus one in the
+producer's hands and one in the consumer's, a slot is only reused after
+its batch can no longer be referenced.
+
+Determinism: the producer calls ``dataset.batches`` with the caller's
+``rng`` in the exact call order the serial loop would — shuffling and
+collation consume the generator identically, so training with prefetch
+enabled is bit-for-bit the same as without.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Iterable, Iterator
+
+import repro.obs as obs
+
+_DONE = object()
+
+
+class _RaisedInProducer:
+    """Wrapper forwarding a producer-side exception to the consumer."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class PrefetchIterator:
+    """Iterate a batch stream collated on a background thread.
+
+    Use as a context manager (or call :meth:`close`) so the producer
+    thread is joined even when the consumer stops early::
+
+        with prefetch_batches(dataset, 32, rng, depth=2) as batches:
+            for batch in batches:
+                ...
+    """
+
+    def __init__(self, source: Iterable, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._produce, args=(source,), daemon=True,
+            name="repro-prefetch",
+        )
+        self._thread.start()
+
+    def _produce(self, source: Iterable) -> None:
+        try:
+            for item in source:
+                while not self._stop.is_set():
+                    try:
+                        self._queue.put(item, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if self._stop.is_set():
+                    return
+        except BaseException as error:  # forwarded, not swallowed
+            self._put_final(_RaisedInProducer(error))
+            return
+        self._put_final(_DONE)
+
+    def _put_final(self, item) -> None:
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def __iter__(self) -> Iterator:
+        return self
+
+    def __next__(self):
+        if self._stop.is_set():
+            raise StopIteration
+        observing = obs.enabled
+        if observing:
+            # Empty queue at read time means the consumer got here first
+            # and will now stall on collation: a starve. Anything queued
+            # is collation time fully hidden behind the previous step.
+            if self._queue.empty():
+                obs.metrics.counter("parallel.prefetch.starve").inc()
+            else:
+                obs.metrics.counter("parallel.prefetch.hit").inc()
+        item = self._queue.get()
+        if item is _DONE:
+            self._stop.set()
+            raise StopIteration
+        if isinstance(item, _RaisedInProducer):
+            self._stop.set()
+            raise item.error
+        return item
+
+    def close(self) -> None:
+        """Stop the producer and join it; safe to call more than once."""
+        self._stop.set()
+        while True:  # unblock a producer stuck on a full queue
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "PrefetchIterator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def prefetch_batches(dataset, batch_size: int, rng=None, depth: int = 2) -> PrefetchIterator:
+    """Wrap ``dataset.batches`` with a background prefetching producer.
+
+    ``depth`` bounds the queue of collated-but-unconsumed batches; the
+    collate-buffer ring is sized ``depth + 2`` (see module docstring).
+    """
+    from repro.corpus.dataset import CollateBuffers
+
+    ring = [CollateBuffers() for _ in range(depth + 2)]
+    source = dataset.batches(batch_size, rng, buffers=ring)
+    if obs.enabled:
+        obs.metrics.gauge("parallel.prefetch.depth").set(float(depth))
+    return PrefetchIterator(source, depth)

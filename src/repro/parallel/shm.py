@@ -1,0 +1,230 @@
+"""Shared-memory payload plane for the worker pool.
+
+Entity payloads (the static :class:`~repro.core.embeddings.EntityEmbedder`
+cache) and frozen model parameters dominate the memory footprint of an
+annotator. N worker processes must therefore *attach* to one copy, not
+hold N private ones. This module packs a ``dict[str, np.ndarray]`` into a
+single ``multiprocessing.shared_memory`` block and describes the layout
+with a small picklable manifest (key, offset, shape, dtype); workers
+reattach each array zero-copy via ``np.ndarray(buffer=shm.buf, ...)``.
+
+Attached views are marked read-only: the payload plane is a broadcast
+medium, never a mutation channel — a worker that needs to change a
+parameter has no business being a worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import secrets
+
+import numpy as np
+
+import repro.obs as obs
+from repro.errors import ParallelError
+
+try:  # pragma: no cover - import succeeds on every supported python
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    _shared_memory = None
+
+# Align every array on a cache-line boundary so attached views keep the
+# alignment numpy's allocators would have produced.
+_ALIGNMENT = 64
+
+_availability: bool | None = None
+
+
+def shared_memory_available() -> bool:
+    """Probe (once) whether POSIX shared memory actually works here.
+
+    ``multiprocessing.shared_memory`` imports fine on platforms where
+    ``/dev/shm`` is absent or unwritable; creating a tiny block is the
+    only reliable test.
+    """
+    global _availability
+    if _availability is None:
+        if _shared_memory is None:
+            _availability = False
+        else:
+            try:
+                block = _shared_memory.SharedMemory(create=True, size=16)
+                block.close()
+                block.unlink()
+                _availability = True
+            except (OSError, ValueError):
+                _availability = False
+    return _availability
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmEntry:
+    """Layout of one array inside the shared block."""
+
+    key: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmManifest:
+    """Everything a worker needs to reattach the payload plane."""
+
+    block_name: str
+    total_bytes: int
+    entries: tuple[ShmEntry, ...]
+
+    def keys(self) -> list[str]:
+        return [entry.key for entry in self.entries]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _unregister_from_resource_tracker(name: str) -> None:
+    """Detach an *attached* block from this process's resource tracker.
+
+    On CPython < 3.13, ``SharedMemory(name=...)`` registers the segment
+    with the attaching process's resource tracker too, so a worker exit
+    would unlink a block the parent still owns (bpo-39959). Attachers
+    are not owners; undo the registration.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArrayStore:
+    """Owner side: one shared block holding a dict of frozen arrays."""
+
+    def __init__(self, manifest: ShmManifest, block) -> None:
+        self.manifest = manifest
+        self._block = block
+        self._closed = False
+
+    @classmethod
+    def export(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayStore":
+        """Copy ``arrays`` into a fresh shared block and return the store."""
+        if not shared_memory_available():
+            raise ParallelError("shared memory is unavailable on this system")
+        entries: list[ShmEntry] = []
+        contiguous: dict[str, np.ndarray] = {}
+        offset = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous[key] = array
+            offset = _aligned(offset)
+            entries.append(
+                ShmEntry(
+                    key=key,
+                    offset=offset,
+                    shape=tuple(int(d) for d in array.shape),
+                    dtype=array.dtype.str,
+                )
+            )
+            offset += array.nbytes
+        total = max(offset, 1)
+        name = f"repro_pool_{os.getpid():x}_{secrets.token_hex(4)}"
+        try:
+            block = _shared_memory.SharedMemory(create=True, size=total, name=name)
+        except OSError as error:
+            raise ParallelError(f"could not create shared memory block: {error}") from error
+        for entry in entries:
+            view = np.ndarray(
+                entry.shape, dtype=entry.dtype, buffer=block.buf, offset=entry.offset
+            )
+            view[...] = contiguous[entry.key]
+        manifest = ShmManifest(
+            block_name=block.name, total_bytes=total, entries=tuple(entries)
+        )
+        if obs.enabled:
+            obs.metrics.gauge("parallel.shm_bytes").set(float(total))
+            obs.metrics.counter("parallel.shm_exports").inc()
+        return cls(manifest, block)
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the owner's mapping; ``unlink`` destroys the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._block.close()
+        finally:
+            if unlink:
+                try:
+                    self._block.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedArrays:
+    """Worker side: zero-copy read-only views into the shared block.
+
+    Keeps the ``SharedMemory`` handle alive for as long as any view may
+    be referenced; call :meth:`close` only after dropping every view.
+    """
+
+    def __init__(self, manifest: ShmManifest, unregister_tracker: bool = True) -> None:
+        if _shared_memory is None:
+            raise ParallelError("shared memory is unavailable on this system")
+        try:
+            self._block = _shared_memory.SharedMemory(name=manifest.block_name)
+        except (OSError, FileNotFoundError) as error:
+            raise ParallelError(
+                f"could not attach shared memory block "
+                f"{manifest.block_name!r}: {error}"
+            ) from error
+        if unregister_tracker:
+            # Only for processes running their *own* resource tracker —
+            # i.e. attachers that are not multiprocessing children of the
+            # owner. Pool workers share the owner's tracker (the fd rides
+            # along under both fork and spawn), where unregistering would
+            # strip the owner's registration and make its unlink scream.
+            _unregister_from_resource_tracker(manifest.block_name)
+        self.manifest = manifest
+        self.arrays: dict[str, np.ndarray] = {}
+        for entry in manifest.entries:
+            view = np.ndarray(
+                entry.shape,
+                dtype=entry.dtype,
+                buffer=self._block.buf,
+                offset=entry.offset,
+            )
+            view.flags.writeable = False
+            self.arrays[entry.key] = view
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.arrays
+
+    def close(self) -> None:
+        """Drop the views and the mapping (views become invalid)."""
+        self.arrays.clear()
+        try:
+            self._block.close()
+        except BufferError:  # pragma: no cover - a view still escaped
+            pass

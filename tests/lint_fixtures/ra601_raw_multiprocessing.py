@@ -1,0 +1,13 @@
+"""Lint fixture: RA601 raw-multiprocessing."""
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+
+def fan_out(tasks):
+    with multiprocessing.Pool(4) as pool:
+        return pool.map(len, tasks)
+
+
+def scratch_block():
+    return shared_memory.SharedMemory(create=True, size=16)

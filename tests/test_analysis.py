@@ -59,6 +59,7 @@ def _probe(module):
         ("ra401_unguarded_obs.py", "RA401", 1),
         ("ra402_dynamic_metric_name.py", "RA402", 1),
         ("ra501_cache_invalidation.py", "RA501", 3),
+        ("ra601_raw_multiprocessing.py", "RA601", 2),
     ],
 )
 def test_fixture_fires_exactly_its_rule(filename, rule, count):
@@ -81,6 +82,13 @@ def test_suppression_is_line_scoped():
     )
     findings = lint_source(source, "blob.py", is_modeling=True)
     assert [(f.rule, f.line) for f in findings] == [("RA201", 3)]
+
+
+def test_ra601_exempts_the_parallel_package():
+    source = "import multiprocessing\nfrom multiprocessing import shared_memory\n"
+    assert lint_source(source, "blob.py", is_parallel_package=True) == []
+    findings = lint_source(source, "blob.py")
+    assert [f.rule for f in findings] == ["RA601", "RA601"]
 
 
 def test_syntax_error_reports_ra000():

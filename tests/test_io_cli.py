@@ -227,17 +227,18 @@ class TestCli:
         ]) == 0
         assert cli_main([
             "train", "--world", world_path, "--corpus", corpus_path,
-            "--epochs", "1", "--candidates", "4", "--out", model_path,
+            "--epochs", "1", "--candidates", "4", "--prefetch", "1",
+            "--out", model_path,
         ]) == 0
         assert cli_main([
             "evaluate", "--world", world_path, "--corpus", corpus_path,
-            "--model", model_path, "--split", "val",
+            "--model", model_path, "--split", "val", "--workers", "2",
         ]) == 0
         out = capsys.readouterr().out
         assert "val split" in out
         assert cli_main([
             "annotate", "--world", world_path, "--model", model_path,
-            "--text", "w1 name1 w2",
+            "--text", "w1 name1 w2", "--workers", "2",
         ]) == 0
 
     def test_presets_accepted(self, tmp_path):
