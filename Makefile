@@ -1,7 +1,7 @@
 # Convenience targets for the Bootleg reproduction.
 
 .PHONY: install test lint check bench bench-core bench-core-baseline \
-	bench-fresh bench-parallel obs-demo examples clean-cache
+	bench-fresh bench-parallel obs-demo report-demo examples clean-cache
 
 install:
 	pip install -e .
@@ -23,13 +23,13 @@ lint:
 	fi
 
 # CI gate: invariants first, then the tier-1 test suite, then the
-# parallel layer again under the strict spawn start method (everything
-# crossing the process boundary must pickle; nothing may rely on
-# fork-inherited state).
+# parallel layer and the report/aggregation path again under the strict
+# spawn start method (everything crossing the process boundary must
+# pickle; nothing may rely on fork-inherited state).
 check: lint
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_PARALLEL_START_METHOD=spawn PYTHONPATH=src \
-		python -m pytest tests/test_parallel.py -x -q
+		python -m pytest tests/test_parallel.py tests/test_report.py -x -q
 
 test-report:
 	pytest tests/ 2>&1 | tee test_output.txt
@@ -72,6 +72,14 @@ obs-demo:
 	PYTHONPATH=src python examples/quickstart.py \
 		--metrics-out benchmarks/results/obs_metrics.json \
 		--trace-out benchmarks/results/obs_trace.json
+
+# Train + evaluate a small world end to end and emit the full report
+# bundle (JSON + self-contained HTML dashboard + merged pool metrics)
+# into benchmarks/results/. Open run_report.html in a browser.
+report-demo:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src python benchmarks/report_demo.py \
+		--out-dir benchmarks/results
 
 # Drop all cached trained models so benches retrain from scratch.
 clean-cache:

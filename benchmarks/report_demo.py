@@ -1,0 +1,97 @@
+"""End-to-end run-report demo: train, evaluate, export, self-diff.
+
+Drives the ``repro`` CLI in-process on a small synthetic world and
+leaves the full observability bundle in ``--out-dir``:
+
+- ``train_report.json``  — training manifest + per-epoch summaries
+- ``run_report.json``    — slice-aware evaluation report (diffable)
+- ``run_report.html``    — self-contained dashboard
+- ``run_metrics.json``   — merged metrics (including per-worker
+  ``parallel.pool.chunk_seconds{worker=i}`` when a pool was used)
+- ``run_trace.json``     — one Chrome trace across owner + workers
+
+Finishes by diffing the evaluation report against itself with
+``--fail-on-regression``, which must exit 0 — the same invocation CI
+would run against a stored baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/report_demo.py \
+        --out-dir benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.parallel import shared_memory_available
+
+
+def _run(step: str, argv: list[str]) -> None:
+    print(f"==> repro {' '.join(argv)}")
+    code = repro_main(argv)
+    if code != 0:
+        raise SystemExit(f"step {step!r} failed with exit code {code}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", type=Path,
+                        default=Path("benchmarks/results"))
+    parser.add_argument("--entities", type=int, default=120)
+    parser.add_argument("--pages", type=int, default=30)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="evaluation pool size (default: 2 when shared "
+                             "memory and >= 2 cores are available, else 1)")
+    args = parser.parse_args(argv)
+
+    out = args.out_dir
+    out.mkdir(parents=True, exist_ok=True)
+    workers = args.workers
+    if workers is None:
+        cores = len(os.sched_getaffinity(0))
+        workers = 2 if shared_memory_available() and cores >= 2 else 1
+
+    with tempfile.TemporaryDirectory(prefix="repro-report-demo-") as tmp:
+        world = str(Path(tmp) / "world.npz")
+        corpus = str(Path(tmp) / "corpus.npz")
+        model = str(Path(tmp) / "model.npz")
+        _run("generate-world", [
+            "generate-world", "--entities", str(args.entities),
+            "--seed", "0", "--out", world,
+        ])
+        _run("generate-corpus", [
+            "generate-corpus", "--world", world, "--pages", str(args.pages),
+            "--seed", "0", "--weak-label", "--out", corpus,
+        ])
+        _run("train", [
+            "train", "--world", world, "--corpus", corpus,
+            "--epochs", str(args.epochs), "--seed", "0", "--out", model,
+            "--report-out", str(out / "train_report.json"),
+        ])
+        _run("evaluate", [
+            "evaluate", "--world", world, "--corpus", corpus,
+            "--model", model, "--split", "val",
+            "--workers", str(workers),
+            "--metrics-out", str(out / "run_metrics.json"),
+            "--trace-out", str(out / "run_trace.json"),
+            "--report-out", str(out / "run_report.json"),
+            "--report-html", str(out / "run_report.html"),
+        ])
+        _run("report-diff", [
+            "report", "diff",
+            str(out / "run_report.json"), str(out / "run_report.json"),
+            "--fail-on-regression",
+        ])
+    print(f"report bundle written to {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,18 @@ only held by code review into machine-checked invariants:
     attributes precomputed at setup time (e.g. ``self._profile_name``)
     are allowed.
 
+``RA403`` unsafe-metric-label
+    Metric label *values* feed straight into ``metric_key`` and, via run
+    reports and cross-process merges, into ``slice=``/``worker=``
+    parsing. Emission sites must pass static, key-safe values: no
+    ``**labels`` expansion, no per-call string building (f-strings,
+    concatenation, ``format``/``str`` calls), and string constants
+    restricted to ``[A-Za-z0-9_.:/-]`` (the ``{``/``}``/``,``/``=``
+    delimiters of the key format would corrupt round-tripping). Plain
+    variables are allowed — fixed vocabularies like BUCKETS arrive that
+    way. The ``repro.obs`` package (which re-keys merged snapshots) is
+    exempt.
+
 ``RA501`` cache-invalidation
     A ``Module`` subclass whose ``__init__`` creates a cache attribute
     (``*cache*``, except ``*_enabled`` flags) must override ``train``,
@@ -101,6 +113,13 @@ _FLOAT_DTYPE_ATTRS = frozenset({"float16", "float32", "float64", "float128"})
 _FLOAT_DTYPE_STRINGS = frozenset({"float16", "float32", "float64", "float128"})
 _EMISSION_REGISTRIES = frozenset({"metrics"})
 _EMISSION_METHODS = frozenset({"counter", "gauge", "histogram"})
+# Label values must stay within the metric-key alphabet; anything else
+# would collide with the name{k=v,...} delimiters.
+_SAFE_LABEL_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:/-"
+)
+# Real keyword parameters of the registry methods, not labels.
+_NON_LABEL_KWARGS = frozenset({"reservoir_size"})
 _GRAD_GUARD_NAMES = frozenset({"is_grad_enabled", "no_grad", "training"})
 _ANCHOR_METHODS = frozenset({"append", "extend", "insert", "setdefault"})
 
@@ -530,6 +549,75 @@ def check_obs_emissions(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RA403 — metric label values must be static and key-safe
+# ----------------------------------------------------------------------
+def _is_dynamic_value(node: ast.expr) -> bool:
+    """True when the expression builds a string per call."""
+    return any(
+        isinstance(sub, (ast.JoinedStr, ast.BinOp))
+        or (
+            isinstance(sub, ast.Call)
+            and _call_name(sub) in ("format", "join", "str", "repr")
+        )
+        for sub in ast.walk(node)
+    )
+
+
+def check_metric_labels(ctx: FileContext) -> list[Finding]:
+    """RA403 unsafe-metric-label."""
+    if ctx.is_obs_package:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        emission, label = _is_emission(node)
+        if not emission or not label.startswith("metrics."):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                findings.append(
+                    ctx.finding(
+                        "RA403",
+                        keyword.value,
+                        f"{label} expands **labels at the emission site; "
+                        "label names must be static keywords so slice/"
+                        "worker cardinality stays auditable",
+                    )
+                )
+                continue
+            if keyword.arg in _NON_LABEL_KWARGS:
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Constant):
+                if isinstance(value.value, str) and (
+                    not value.value
+                    or not set(value.value) <= _SAFE_LABEL_CHARS
+                ):
+                    findings.append(
+                        ctx.finding(
+                            "RA403",
+                            value,
+                            f"{label} label {keyword.arg}="
+                            f"{value.value!r} contains characters outside "
+                            "the metric-key alphabet [A-Za-z0-9_.:/-]; "
+                            "the key format cannot round-trip it",
+                        )
+                    )
+            elif _is_dynamic_value(value):
+                findings.append(
+                    ctx.finding(
+                        "RA403",
+                        value,
+                        f"{label} label {keyword.arg} is built per call "
+                        "(f-string/concat/format); pass a value from a "
+                        "fixed vocabulary instead",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # RA501 — cache-bearing modules must invalidate on parameter mutation
 # ----------------------------------------------------------------------
 _MUTATING_METHODS = ("train", "load_state_dict", "to_dtype")
@@ -678,6 +766,12 @@ RULES: tuple[Rule, ...] = (
         "unguarded-obs",
         "obs emissions must sit behind obs.enabled",
         check_obs_emissions,
+    ),
+    Rule(
+        "RA403",
+        "unsafe-metric-label",
+        "metric label values must be static and metric-key-safe",
+        check_metric_labels,
     ),
     Rule(
         "RA501",

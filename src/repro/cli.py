@@ -8,6 +8,7 @@ Subcommands cover the full lifecycle a downstream user needs:
 - ``repro evaluate``        — bucketed F1 of a saved model on a split
 - ``repro annotate``        — disambiguate free text with a saved model
 - ``repro lint``            — invariant linter + model-graph verifier
+- ``repro report``          — inspect / diff slice-aware run reports
 
 Models are saved as self-contained checkpoints: the npz carries the
 model config, the vocabulary, and the entity counts, so ``evaluate`` and
@@ -19,6 +20,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 
 import numpy as np
 
@@ -32,7 +34,9 @@ from repro.corpus.io import load_corpus, save_corpus
 from repro.corpus.stats import EntityCounts
 from repro.corpus.vocab import SPECIAL_TOKENS, Vocabulary
 from repro.errors import ReproError
+from repro.eval.patterns import PatternSlicer, mine_affordance_keywords
 from repro.eval.slices import f1_by_bucket, mentions_by_bucket
+from repro.obs.report import RunReport, diff_reports, regressions
 from repro.kb.io import load_world, save_world
 from repro.kb.synthetic import WorldConfig, generate_world
 from repro.nn.serialize import load_module, save_module
@@ -101,7 +105,12 @@ def _setup_telemetry(args: argparse.Namespace) -> None:
     if args.log_level is not None or args.json_logs:
         level = parse_level(args.log_level or "info")
         enable_console_logging(level, json_logs=args.json_logs)
-    if args.metrics_out or args.trace_out:
+    wants_report = getattr(args, "report_out", None) or getattr(
+        args, "report_html", None
+    )
+    if args.metrics_out or args.trace_out or wants_report:
+        # Run reports bundle the metrics snapshot, so requesting one
+        # turns recording on even without --metrics-out.
         obs.reset()
         obs.enable()
 
@@ -181,10 +190,28 @@ def cmd_train(args: argparse.Namespace) -> int:
             prefetch_batches=args.prefetch,
         ),
     )
+    started = time.perf_counter()
     history = trainer.train()
+    wall_seconds = time.perf_counter() - started
     for stats in history:
         print(f"epoch {stats.epoch}: loss {stats.mean_loss:.4f} "
               f"({stats.seconds:.1f}s)")
+    if args.report_out:
+        report = RunReport.build(
+            name=f"train:{args.preset}",
+            config={
+                "preset": args.preset,
+                "model_config": dataclasses.asdict(config),
+                "epochs": args.epochs,
+                "batch_size": args.batch_size,
+                "learning_rate": args.learning_rate,
+            },
+            seed=args.seed,
+            wall_seconds=wall_seconds,
+            train=trainer.report().to_dict(),
+        )
+        report.save(args.report_out)
+        print(f"run report written to {args.report_out}", file=sys.stderr)
     save_module(
         model,
         args.out,
@@ -227,14 +254,16 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         corpus, args.split, vocab, world.candidate_map,
         config.num_candidates, kgs=[world.kg],
     )
+    started = time.perf_counter()
     if args.workers > 1:
         from repro.parallel import predict_batches as parallel_predict
 
         records = parallel_predict(
-            model, dataset.batches(64), workers=args.workers
+            model, dataset.batches(args.batch_size), workers=args.workers
         )
     else:
         records = predict(model, dataset)
+    wall_seconds = time.perf_counter() - started
     buckets = f1_by_bucket(records, counts)
     sizes = mentions_by_bucket(records, counts)
     rows = [
@@ -248,6 +277,35 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             title=f"{args.split} split",
         )
     )
+    if args.report_out or args.report_html:
+        # Pattern-slice membership is mined from structure (Section 5),
+        # so the report carries both popularity and reasoning slices.
+        slicer = PatternSlicer(
+            world.kb, world.kg, mine_affordance_keywords(corpus, world.kb)
+        )
+        membership = slicer.build_membership(corpus.sentences(args.split))
+        report = RunReport.build(
+            name=f"evaluate:{args.split}",
+            records=records,
+            counts=counts,
+            membership=membership,
+            config={
+                "model": args.model,
+                "split": args.split,
+                "workers": args.workers,
+                "model_config": dataclasses.asdict(config),
+            },
+            wall_seconds=wall_seconds,
+        )
+        if args.report_out:
+            report.save(args.report_out)
+            print(f"run report written to {args.report_out}", file=sys.stderr)
+        if args.report_html:
+            report.to_html(args.report_html)
+            print(
+                f"report dashboard written to {args.report_html}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -321,6 +379,64 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors(findings) else 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: inspect, render, and diff run reports.
+
+    ``diff OLD NEW --fail-on-regression`` is the CI gate: exit 0 when no
+    slice regressed significantly (paired bootstrap over the shared
+    mentions), nonzero otherwise.
+    """
+    if args.report_command == "show":
+        report = RunReport.load(args.report)
+        print(f"run:    {report.name}")
+        print(f"git:    {report.git_sha or '-'}")
+        print(f"seed:   {'-' if report.seed is None else report.seed}")
+        print(f"wall:   {report.wall_seconds:.1f}s")
+        if report.slices:
+            rows = [
+                [s.name, s.f1, f"[{s.low:.1f}, {s.high:.1f}]", s.num_mentions]
+                for s in report.ordered_slices()
+            ]
+            print(format_table(["slice", "F1", "95% CI", "n"], rows))
+        return 0
+    if args.report_command == "html":
+        report = RunReport.load(args.report)
+        report.to_html(args.out)
+        print(f"report dashboard written to {args.out}", file=sys.stderr)
+        return 0
+    # diff
+    old = RunReport.load(args.old)
+    new = RunReport.load(args.new)
+    deltas = diff_reports(
+        old, new, num_samples=args.samples, alpha=args.alpha
+    )
+    rows = []
+    for delta in deltas:
+        rows.append([
+            delta.name,
+            "-" if delta.old_f1 is None else delta.old_f1,
+            "-" if delta.new_f1 is None else delta.new_f1,
+            f"{delta.delta:+.2f}",
+            "yes" if delta.significant else "no",
+            delta.method,
+            "REGRESSION" if delta.regression else "",
+        ])
+    print(
+        format_table(
+            ["slice", "old F1", "new F1", "delta", "significant", "method", ""],
+            rows,
+            title=f"{new.name} vs {old.name}",
+        )
+    )
+    gated = regressions(deltas)
+    if gated:
+        names = ", ".join(delta.name for delta in gated)
+        print(f"{len(gated)} significant regression(s): {names}", file=sys.stderr)
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
@@ -366,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
              "batches queued ahead of the optimizer (0 = inline)",
     )
     train_parser.add_argument("--out", required=True)
+    train_parser.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write a run report (manifest + metrics + per-epoch summaries)",
+    )
     train_parser.set_defaults(func=cmd_train)
 
     eval_parser = sub.add_parser(
@@ -379,6 +499,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="shard prediction batches across this many worker processes "
              "(1 = in-process serial path)",
+    )
+    eval_parser.add_argument(
+        "--batch-size", type=int, default=64,
+        help="evaluation batch size; smaller batches shard more evenly "
+             "across --workers on small corpora",
+    )
+    eval_parser.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write a slice-aware run report (JSON, diffable with "
+             "`repro report diff`)",
+    )
+    eval_parser.add_argument(
+        "--report-html", metavar="PATH", default=None,
+        help="write a self-contained HTML dashboard of the run report",
     )
     eval_parser.set_defaults(func=cmd_evaluate)
 
@@ -421,6 +555,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    report_parser = sub.add_parser(
+        "report", help="inspect, render, and diff run reports"
+    )
+    report_sub = report_parser.add_subparsers(
+        dest="report_command", required=True
+    )
+    show_parser = report_sub.add_parser(
+        "show", help="print a report's manifest and slice table",
+        parents=[telemetry],
+    )
+    show_parser.add_argument("report", help="run report JSON path")
+    html_parser = report_sub.add_parser(
+        "html", help="render a saved report as a self-contained dashboard",
+        parents=[telemetry],
+    )
+    html_parser.add_argument("report", help="run report JSON path")
+    html_parser.add_argument("out", help="HTML output path")
+    diff_parser = report_sub.add_parser(
+        "diff", help="compare two reports slice by slice",
+        parents=[telemetry],
+    )
+    diff_parser.add_argument("old", help="baseline run report JSON path")
+    diff_parser.add_argument("new", help="candidate run report JSON path")
+    diff_parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit nonzero when any slice regresses with bootstrap "
+             "significance (the CI gate)",
+    )
+    diff_parser.add_argument(
+        "--samples", type=int, default=1000,
+        help="paired-bootstrap resamples (default 1000)",
+    )
+    diff_parser.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="significance level for the bootstrap interval (default 0.05)",
+    )
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 

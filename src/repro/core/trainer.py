@@ -88,6 +88,9 @@ class TrainReport:
     grad_norm_pre: dict[int, dict]
     grad_norm_post: dict[int, dict]
     step_seconds: dict[int, dict]
+    # Distribution of whole-epoch wall times; computed from the epoch
+    # stats, so it is filled even when obs was disabled.
+    epoch_seconds: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot."""
@@ -101,6 +104,7 @@ class TrainReport:
             "grad_norm_pre": self.grad_norm_pre,
             "grad_norm_post": self.grad_norm_post,
             "step_seconds": self.step_seconds,
+            "epoch_seconds": self.epoch_seconds,
         }
 
 
@@ -159,6 +163,9 @@ class Trainer:
                 if hist_name == name
             }
 
+        epoch_hist = Histogram()
+        for stats in self.history:
+            epoch_hist.observe(stats.seconds)
         return TrainReport(
             epochs=list(self.history),
             total_steps=self.total_steps,
@@ -169,6 +176,7 @@ class Trainer:
             grad_norm_pre=summaries("train.grad_norm_pre"),
             grad_norm_post=summaries("train.grad_norm_post"),
             step_seconds=summaries("train.step_seconds"),
+            epoch_seconds=epoch_hist.summary(),
         )
 
     def _epoch_batches(self):
@@ -277,6 +285,10 @@ class Trainer:
                 eval_accuracy=epoch_eval_accuracy,
             )
             self.history.append(stats)
+            if obs.enabled:
+                obs.metrics.histogram("train.epoch_seconds").observe(
+                    stats.seconds
+                )
             logger.info(
                 "epoch %d: loss %.4f (%.1fs)", stats.epoch, stats.mean_loss,
                 stats.seconds,

@@ -30,6 +30,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     metric_key,
+    parse_metric_key,
+    relabel_metric_key,
 )
 from repro.obs.trace import Span, SpanTracer
 
@@ -39,6 +41,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "metric_key",
+    "parse_metric_key",
+    "relabel_metric_key",
     "Span",
     "SpanTracer",
     "enabled",

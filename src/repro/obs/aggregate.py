@@ -1,0 +1,75 @@
+"""Cross-process telemetry aggregation.
+
+A pool worker records into its own process-local ``repro.obs``
+singletons; without aggregation everything it observed would die with
+the child process. This module is the owner/worker handshake:
+
+- the **worker** calls :func:`telemetry_snapshot` at shutdown (or on an
+  explicit flush) and ships the resulting plain dict back over the
+  pool's existing result queue — it is picklable, bounded (histogram
+  reservoirs, not raw streams), and contains no live objects;
+- the **owner** calls :func:`merge_telemetry` with a ``worker=<rank>``
+  label, folding the worker's counters/gauges/histograms into the
+  global registry under re-labeled keys
+  (``parallel.pool.chunk_seconds`` → ``…{worker=3}``) and grafting the
+  worker's span forest — with its real pid/tid — into the global
+  tracer, so a pooled run exports one merged metrics file and one
+  coherent Chrome trace.
+
+The heavy lifting (reservoir merging, key re-labeling, span
+rehydration) lives on :class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.trace.SpanTracer`; this module only packages the
+two ends of the exchange.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanTracer
+
+# Schema marker for the snapshot payload, bumped when the layout of
+# either sub-snapshot changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+
+def telemetry_snapshot(
+    metrics: MetricsRegistry | None = None,
+    tracer: SpanTracer | None = None,
+) -> dict:
+    """Bundle the current metrics + trace state into one picklable dict.
+
+    Defaults to the module-level ``repro.obs`` singletons, which is what
+    a pool worker wants; pass explicit instances for tests.
+    """
+    import repro.obs as obs
+
+    metrics = metrics if metrics is not None else obs.metrics
+    tracer = tracer if tracer is not None else obs.tracer
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": metrics.snapshot(),
+        "trace": tracer.snapshot(),
+    }
+
+
+def merge_telemetry(
+    snapshot: dict,
+    metrics: MetricsRegistry | None = None,
+    tracer: SpanTracer | None = None,
+    **labels,
+) -> None:
+    """Fold a :func:`telemetry_snapshot` into a registry + tracer.
+
+    ``labels`` (typically ``worker=<rank>``) are attached to every
+    incoming metric key; spans keep their recorded pid/tid, which is
+    what separates workers on the trace timeline. Defaults to the
+    module-level ``repro.obs`` singletons.
+    """
+    import repro.obs as obs
+
+    metrics = metrics if metrics is not None else obs.metrics
+    tracer = tracer if tracer is not None else obs.tracer
+    metrics.merge(snapshot.get("metrics", {}), **labels)
+    trace = snapshot.get("trace")
+    if trace:
+        tracer.merge(trace)

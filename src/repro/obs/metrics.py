@@ -11,6 +11,15 @@ reservoir (Vitter's algorithm R) for quantile estimates, so recording a
 million observations costs O(reservoir) memory. Reservoir replacement
 uses a per-histogram RNG seeded from the metric key, keeping exports
 reproducible run to run for a fixed observation stream.
+
+Every instrument is *mergeable*: :meth:`MetricsRegistry.snapshot`
+produces a picklable plain-dict view that a pool worker can ship over a
+queue, and :meth:`MetricsRegistry.merge` folds such a snapshot into
+another registry — exactly for counts/sums/extrema, and by weighted
+reservoir subsampling for histogram quantiles (see
+:meth:`Histogram.merge`). ``merge(..., worker=3)`` re-keys every
+incoming instrument with extra labels so per-process streams stay
+distinguishable after aggregation.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import json
 import random
 import threading
+import zlib
 from pathlib import Path
 
 
@@ -106,6 +116,69 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    # -- cross-process aggregation --------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable state capturing everything :meth:`merge` needs."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "reservoir": list(self.reservoir),
+        }
+
+    def merge(self, other: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Count/sum/min/max merge exactly. The merged reservoir is a
+        uniform subsample of the union of the two observation streams:
+        while both reservoirs fit, they are simply concatenated (which
+        is *exact* whenever both sides saw fewer observations than
+        their reservoir size); past capacity, slots are drawn from each
+        side with probability proportional to the observation mass each
+        reservoir element represents.
+        """
+        other_count = int(other["count"])
+        if other_count == 0:
+            return
+        other_min = other["min"]
+        other_max = other["max"]
+        if self.min is None or (other_min is not None and other_min < self.min):
+            self.min = other_min
+        if self.max is None or (other_max is not None and other_max > self.max):
+            self.max = other_max
+        mine = list(self.reservoir)
+        theirs = list(other["reservoir"])
+        both_exhaustive = (
+            self.count == len(mine) and other_count == len(theirs)
+        )
+        if both_exhaustive and len(mine) + len(theirs) <= self._size:
+            # Both reservoirs hold their full streams: the merge is exact.
+            self.reservoir = mine + theirs
+        else:
+            # Weight per element: how many observations it stands for.
+            weight_mine = self.count / len(mine) if mine else 0.0
+            weight_theirs = other_count / len(theirs) if theirs else 0.0
+            self._rng.shuffle(mine)
+            self._rng.shuffle(theirs)
+            merged: list[float] = []
+            mass_mine = self.count if mine else 0.0
+            mass_theirs = other_count if theirs else 0.0
+            while len(merged) < self._size and (mine or theirs):
+                total_mass = mass_mine + mass_theirs
+                if mine and (
+                    not theirs
+                    or self._rng.random() < mass_mine / total_mass
+                ):
+                    merged.append(mine.pop())
+                    mass_mine = max(0.0, mass_mine - weight_mine)
+                else:
+                    merged.append(theirs.pop())
+                    mass_theirs = max(0.0, mass_theirs - weight_theirs)
+            self.reservoir = merged
+        self.count += other_count
+        self.total += float(other["sum"])
+
 
 def metric_key(name: str, labels: dict) -> str:
     """Canonical registry key: ``name`` or ``name{k1=v1,k2=v2}`` (sorted)."""
@@ -113,6 +186,37 @@ def metric_key(name: str, labels: dict) -> str:
         return name
     rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{rendered}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key`: ``name{a=1,b=2}`` → name + labels.
+
+    Label values come back as strings — the key format does not
+    preserve types, and merged keys only ever need re-rendering.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, rendered = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    if rendered:
+        for part in rendered.split(","):
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+def relabel_metric_key(key: str, extra: dict) -> str:
+    """Re-render ``key`` with ``extra`` labels added (extra wins)."""
+    if not extra:
+        return key
+    name, labels = parse_metric_key(key)
+    labels.update({k: str(v) for k, v in extra.items()})
+    return metric_key(name, labels)
+
+
+def _stable_seed(key: str) -> int:
+    """Process-independent histogram seed (``hash()`` is salted)."""
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
 
 
 class MetricsRegistry:
@@ -152,10 +256,9 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            seed = hash(key) & 0xFFFFFFFF
             with self._lock:
                 instrument = self._histograms.setdefault(
-                    key, Histogram(reservoir_size, seed=seed)
+                    key, Histogram(reservoir_size, seed=_stable_seed(key))
                 )
         return instrument
 
@@ -169,6 +272,50 @@ class MetricsRegistry:
                 k: h.summary() for k, h in sorted(self._histograms.items())
             },
         }
+
+    def snapshot(self) -> dict:
+        """Mergeable, picklable state of every instrument.
+
+        Unlike :meth:`to_dict` (a human/JSON summary), the snapshot
+        carries full histogram reservoirs so :meth:`merge` can combine
+        registries from different processes without losing quantile
+        information.
+        """
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {
+                k: g.value
+                for k, g in sorted(self._gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict, **labels) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        ``labels`` are added to every incoming key (``worker=3`` turns
+        ``parallel.pool.chunk_seconds`` into
+        ``parallel.pool.chunk_seconds{worker=3}``), so per-process
+        streams remain distinguishable after aggregation. Counters add,
+        gauges are last-write-wins, histograms merge exactly on
+        count/sum/min/max and by reservoir subsampling on quantiles.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            name, key_labels = parse_metric_key(key)
+            self.counter(name, **{**key_labels, **labels}).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            if value is None:
+                continue
+            name, key_labels = parse_metric_key(key)
+            self.gauge(name, **{**key_labels, **labels}).set(value)
+        for key, hist_snapshot in snapshot.get("histograms", {}).items():
+            name, key_labels = parse_metric_key(key)
+            self.histogram(name, **{**key_labels, **labels}).merge(
+                hist_snapshot
+            )
 
     def export_json(self, path) -> None:
         """Write the :meth:`to_dict` snapshot to ``path``."""

@@ -44,6 +44,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.errors import ParallelError
+from repro.obs.aggregate import merge_telemetry, telemetry_snapshot
 from repro.parallel.shm import (
     AttachedArrays,
     SharedArrayStore,
@@ -62,6 +63,8 @@ _CHUNKS_PER_WORKER = 4
 # parallel path and falling back to serial execution.
 _STARTUP_TIMEOUT = 60.0
 _RESULT_POLL_SECONDS = 0.2
+# Seconds to wait at shutdown for the workers' telemetry snapshots.
+_TELEMETRY_TIMEOUT = 10.0
 
 _ENV_START_METHOD = "REPRO_PARALLEL_START_METHOD"
 
@@ -111,6 +114,10 @@ class WorkerSpec:
     # and unregistering would strip the owner's entry instead. Only
     # unrelated processes attaching from outside need True.
     unregister_tracker: bool = False
+    # Captured from obs.enabled when the pool starts: workers run a
+    # process-local obs scope around chunk execution and ship a
+    # telemetry snapshot back over the result queue at shutdown.
+    observe: bool = False
 
 
 ModelFactory = Callable[[WorkerSpec], object]
@@ -282,28 +289,50 @@ class _WorkerRuntime:
 
 def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
     """Entry point of one worker process."""
+    # Fresh telemetry state: under fork the child inherits the parent's
+    # recorded metrics and enabled flag, which must not leak into (or be
+    # double-counted by) the worker's own stream.
+    obs.disable()
+    obs.reset()
     try:
         runtime = _WorkerRuntime(spec)
     except BaseException:
         results.put(("init_error", worker_id, -1, traceback.format_exc(), 0.0))
         return
+    if spec.observe:
+        # Worker-side obs scope: chunk execution records into this
+        # process's registry/tracer (reset again so rehydration/warmup
+        # noise is excluded); the owner merges the snapshot at shutdown.
+        obs.reset()
+        obs.enable()
     results.put(("ready", worker_id, -1, None, 0.0))
     while True:
         task = tasks.get()
         if task is None:
             break
         task_id, kind, payload = task
+        observing = obs.enabled
         start = time.perf_counter()
         try:
-            outcome = runtime.run(kind, payload)
+            with obs.span("parallel.pool.chunk", task=task_id, kind=kind):
+                outcome = runtime.run(kind, payload)
         except BaseException:
+            if observing:
+                obs.metrics.counter("parallel.pool.chunk_errors").inc()
             results.put(
                 ("error", worker_id, task_id, traceback.format_exc(), 0.0)
             )
         else:
-            results.put(
-                ("ok", worker_id, task_id, outcome, time.perf_counter() - start)
-            )
+            elapsed = time.perf_counter() - start
+            if observing:
+                obs.metrics.counter("parallel.pool.chunks").inc()
+                obs.metrics.histogram("parallel.pool.chunk_seconds").observe(
+                    elapsed
+                )
+            results.put(("ok", worker_id, task_id, outcome, elapsed))
+    if spec.observe:
+        obs.disable()
+        results.put(("telemetry", worker_id, -1, telemetry_snapshot(), 0.0))
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +432,7 @@ class AnnotatorPool:
                 embedder.build_static_cache()
         self._store = SharedArrayStore.export(_export_arrays(model))
         spec = _spec_from_model(model, self._store.manifest, self._compute)
+        spec.observe = obs.enabled
         annotator = self._annotator
         if annotator is not None:
             spec.candidate_map = annotator.candidate_map
@@ -466,6 +496,8 @@ class AnnotatorPool:
                 raise ParallelError(f"worker {worker_id} failed to start:\n{payload}")
             if status == "ready":
                 pending.discard(worker_id)
+            # Stray "telemetry" payloads (a respawn racing a close) are
+            # dropped here; only _teardown merges them.
 
     # -- dispatch -------------------------------------------------------
     def _execute(self, tasks: list[_Task]) -> list:
@@ -518,6 +550,9 @@ class AnnotatorPool:
                 outstanding -= 1
                 if observing:
                     obs.metrics.counter("parallel.pool.task_failures").inc()
+            elif status == "telemetry":
+                # Shutdown-only message; nothing to do mid-dispatch.
+                continue
             elif status == "init_error":
                 # A respawned worker failed to reinitialize; everything
                 # assigned to it is undeliverable.
@@ -711,6 +746,7 @@ class AnnotatorPool:
                 self._task_queues[worker_id].put(None)
             except (OSError, ValueError):  # pragma: no cover - queue gone
                 pass
+        self._collect_worker_telemetry()
         for process in self._procs:
             if process is None:
                 continue
@@ -730,6 +766,63 @@ class AnnotatorPool:
         if self._store is not None:
             self._store.close(unlink=True)
             self._store = None
+
+    def _collect_worker_telemetry(self) -> None:
+        """Drain the workers' shutdown telemetry and merge it owner-side.
+
+        Workers flush one ``("telemetry", rank, ...)`` message right
+        after the shutdown sentinel; each snapshot is merged into the
+        global registry/tracer with a ``worker=<rank>`` label so
+        per-worker chunk histograms stay distinguishable and worker
+        spans (with their real pids) land on the owner's timeline. A
+        worker that crashed before flushing simply never reports — the
+        drain gives up once every expected worker is dead and the queue
+        has stayed empty for a grace period.
+        """
+        if (
+            self._spec is None
+            or not self._spec.observe
+            or self._results is None
+        ):
+            return
+        expected = {
+            worker_id
+            for worker_id, process in enumerate(self._procs)
+            if process is not None
+        }
+        snapshots: dict[int, dict] = {}
+        deadline = time.monotonic() + _TELEMETRY_TIMEOUT
+        drained_grace: float | None = None
+        while expected and time.monotonic() < deadline:
+            try:
+                status, worker_id, _, payload, _ = self._results.get(
+                    timeout=_RESULT_POLL_SECONDS
+                )
+            except _queue.Empty:
+                all_dead = all(
+                    self._procs[worker_id] is None
+                    or not self._procs[worker_id].is_alive()
+                    for worker_id in expected
+                )
+                if not all_dead:
+                    continue
+                # Every straggler is dead; allow one grace period for
+                # messages still in the queue's feeder pipe, then stop.
+                now = time.monotonic()
+                if drained_grace is None:
+                    drained_grace = now + 2 * _RESULT_POLL_SECONDS
+                elif now > drained_grace:
+                    break
+                continue
+            drained_grace = None
+            if status == "telemetry" and worker_id in expected:
+                expected.discard(worker_id)
+                snapshots[worker_id] = payload
+            # Late "ok"/"error"/"ready" stragglers are dropped: the pool
+            # is closing and their dispatch call has already returned.
+        if obs.enabled:
+            for worker_id in sorted(snapshots):
+                merge_telemetry(snapshots[worker_id], worker=worker_id)
 
     def __enter__(self) -> "AnnotatorPool":
         return self

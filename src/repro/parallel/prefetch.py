@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Iterable, Iterator
 
 import repro.obs as obs
@@ -91,6 +92,7 @@ class PrefetchIterator:
         if self._stop.is_set():
             raise StopIteration
         observing = obs.enabled
+        wait_start = 0.0
         if observing:
             # Empty queue at read time means the consumer got here first
             # and will now stall on collation: a starve. Anything queued
@@ -99,7 +101,15 @@ class PrefetchIterator:
                 obs.metrics.counter("parallel.prefetch.starve").inc()
             else:
                 obs.metrics.counter("parallel.prefetch.hit").inc()
+            wait_start = time.perf_counter()
         item = self._queue.get()
+        if observing:
+            # How long the consumer actually blocked on the producer;
+            # the distribution separates an occasional cold start from a
+            # producer that cannot keep up at all.
+            obs.metrics.histogram("parallel.prefetch.wait_seconds").observe(
+                time.perf_counter() - wait_start
+            )
         if item is _DONE:
             self._stop.set()
             raise StopIteration

@@ -1,0 +1,18 @@
+"""Lint fixture: RA403 unsafe-metric-label (guarded, static names)."""
+
+import repro.obs as obs
+
+
+def emit(bucket, labels):
+    if obs.enabled:
+        # ** expansion hides the label names from the linter.
+        obs.metrics.gauge("eval.slice_f1", **labels).set(1.0)
+        # Constant value with a space: outside the metric-key alphabet.
+        obs.metrics.gauge("eval.slice_f1", slice="head mentions").set(1.0)
+        # Label value built per call.
+        obs.metrics.counter("eval.slices", slice=f"bucket-{bucket}").inc()
+        # Clean: fixed-vocabulary variable and key-safe constant.
+        obs.metrics.gauge("eval.slice_f1", slice=bucket).set(1.0)
+        obs.metrics.gauge("eval.slice_f1", slice="head").set(1.0)
+        # Clean: reservoir_size is a real parameter, not a label.
+        obs.metrics.histogram("infer.seconds", reservoir_size=64).observe(0.1)

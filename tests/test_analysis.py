@@ -58,6 +58,7 @@ def _probe(module):
         ("ra301_unguarded_fast_path.py", "RA301", 1),
         ("ra401_unguarded_obs.py", "RA401", 1),
         ("ra402_dynamic_metric_name.py", "RA402", 1),
+        ("ra403_unsafe_labels.py", "RA403", 3),
         ("ra501_cache_invalidation.py", "RA501", 3),
         ("ra601_raw_multiprocessing.py", "RA601", 2),
     ],

@@ -9,6 +9,7 @@ the disabled-path overhead on a forward pass stays under 5%.
 import importlib.util
 import json
 import logging
+import os
 import sys
 import time
 from pathlib import Path
@@ -153,6 +154,99 @@ class TestMetrics:
         assert registry.to_dict() == {
             "counters": {}, "gauges": {}, "histograms": {},
         }
+
+
+# ----------------------------------------------------------------------
+# Snapshot / merge (cross-process aggregation primitives)
+# ----------------------------------------------------------------------
+class TestSnapshotMerge:
+    def test_merge_of_disjoint_snapshots_matches_serial(self):
+        """Property: recording a stream across N registries and merging
+        their snapshots is equivalent to recording it serially — exact
+        for counters, gauges and histogram count/sum/min/max, and within
+        reservoir tolerance for quantiles."""
+        rng = np.random.default_rng(11)
+        values = rng.exponential(scale=0.05, size=4000)
+        shards = np.array_split(values, 4)
+
+        serial = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in shards]
+        for registry, shard in zip(workers, shards):
+            for value in shard:
+                registry.counter("chunks").inc()
+                registry.histogram("chunk_seconds").observe(float(value))
+                serial.counter("chunks").inc()
+                serial.histogram("chunk_seconds").observe(float(value))
+            registry.gauge("last").set(float(shard[-1]))
+
+        merged = MetricsRegistry()
+        for registry in workers:
+            merged.merge(registry.snapshot())
+
+        want = serial.histogram("chunk_seconds")
+        got = merged.histogram("chunk_seconds")
+        assert merged.counter("chunks").value == len(values)
+        assert got.count == want.count == len(values)
+        assert got.total == pytest.approx(want.total)
+        assert got.min == want.min
+        assert got.max == want.max
+        for q in (0.5, 0.9, 0.99):
+            # Reservoir quantiles are approximate; both sides sampled
+            # the same stream so they must agree within a loose band.
+            assert got.quantile(q) == pytest.approx(
+                np.quantile(values, q), rel=0.35, abs=0.02)
+        # Gauges are last-write-wins per key; the un-relabeled merge
+        # keeps a single "last" gauge.
+        assert "last" in merged.to_dict()["gauges"]
+
+    def test_merge_relabels_keys(self):
+        merged = MetricsRegistry()
+        for rank in range(3):
+            registry = MetricsRegistry()
+            registry.counter("chunks").inc(rank + 1)
+            registry.histogram("seconds", kind="infer").observe(0.1)
+            merged.merge(registry.snapshot(), worker=rank)
+        counters = merged.to_dict()["counters"]
+        assert counters == {
+            "chunks{worker=0}": 1,
+            "chunks{worker=1}": 2,
+            "chunks{worker=2}": 3,
+        }
+        # Existing labels are preserved and the worker label is added.
+        hists = merged.to_dict()["histograms"]
+        assert set(hists) == {
+            "seconds{kind=infer,worker=0}",
+            "seconds{kind=infer,worker=1}",
+            "seconds{kind=infer,worker=2}",
+        }
+
+    def test_exhaustive_merge_is_exact(self):
+        """When every reservoir is exhaustive the merge keeps exact
+        values, so quantiles are exact too."""
+        a, b = Histogram(), Histogram()
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (4.0, 5.0):
+            b.observe(value)
+        a.merge(b.snapshot())
+        assert a.count == 5
+        assert sorted(a.reservoir) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert a.quantile(1.0) == 5.0
+
+    def test_tracer_snapshot_merge_keeps_pids(self):
+        owner, remote = SpanTracer(), SpanTracer()
+        with owner.span("local"):
+            pass
+        with remote.span("worker_chunk"):
+            pass
+        snapshot = remote.snapshot()
+        snapshot["pid"] = 4242
+        for span in snapshot["spans"]:
+            span["pid"] = 4242
+        owner.merge(snapshot)
+        events = owner.to_chrome_trace()["traceEvents"]
+        assert {e["name"] for e in events} == {"local", "worker_chunk"}
+        assert {e["pid"] for e in events} == {os.getpid(), 4242}
 
 
 # ----------------------------------------------------------------------
