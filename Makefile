@@ -1,7 +1,8 @@
 # Convenience targets for the Bootleg reproduction.
 
 .PHONY: install test lint check bench bench-core bench-core-baseline \
-	bench-fresh bench-parallel obs-demo report-demo examples clean-cache
+	bench-fresh bench-parallel bench-store obs-demo report-demo examples \
+	clean-cache
 
 install:
 	pip install -e .
@@ -29,7 +30,8 @@ lint:
 check: lint
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_PARALLEL_START_METHOD=spawn PYTHONPATH=src \
-		python -m pytest tests/test_parallel.py tests/test_report.py -x -q
+		python -m pytest tests/test_parallel.py tests/test_report.py \
+		tests/test_store.py -x -q
 
 test-report:
 	pytest tests/ 2>&1 | tee test_output.txt
@@ -59,10 +61,30 @@ bench-core-baseline:
 # Annotator-pool and prefetch speedup vs. the serial path; asserts
 # byte-identical outputs and bounded shared-memory overhead, and gates
 # the 2x-speedup floor on having >= 4 usable cores (see the script).
+# Compared against the committed baseline when one exists; warn-only
+# until benchmarks/bench_parallel_baseline.json is committed.
 bench-parallel:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src python benchmarks/bench_parallel.py \
-		--out benchmarks/results/bench_parallel.json
+		--out benchmarks/results/BENCH_parallel.json
+	python benchmarks/compare_to_baseline.py \
+		benchmarks/results/BENCH_parallel.json \
+		benchmarks/bench_parallel_baseline.json \
+		--max-regression 0.20 --missing-baseline-ok
+
+# Entity payload store gates (docs/ENTITY_STORE.md): (a) warm mmap row
+# gather within 1.3x of dense, (b) a 1M-entity synthetic payload served
+# under a fixed resident budget with store.resident_bytes telemetry,
+# (c) byte-identical annotations dense vs mmap. Baseline comparison is
+# warn-only until benchmarks/bench_store_baseline.json is committed.
+bench-store:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src python benchmarks/bench_store.py \
+		--out benchmarks/results/BENCH_store.json
+	python benchmarks/compare_to_baseline.py \
+		benchmarks/results/BENCH_store.json \
+		benchmarks/bench_store_baseline.json \
+		--max-regression 0.20 --missing-baseline-ok
 
 # Emit a sample telemetry bundle (metrics JSON + Chrome trace) from the
 # quickstart example into benchmarks/results/; load the trace in

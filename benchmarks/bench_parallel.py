@@ -16,7 +16,7 @@ the run warns instead of failing.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py \
-        --out benchmarks/results/bench_parallel.json
+        --out benchmarks/results/BENCH_parallel.json
 
 The JSON output uses the pytest-benchmark shape
 (``{"benchmarks": [{"name", "stats": {"mean"}}]}``) so

@@ -6,9 +6,10 @@ Files inside the ``repro`` package are categorized by subpackage:
 modeling rules (RA201/RA301) only apply under ``nn``/``core``/``text``/
 ``baselines``/``downstream``, the obs-guard rules skip ``repro/obs``
 (the instrumentation itself), ``nn/tensor.py`` — which *defines* the
-dtype policy — is exempt from RA201, and ``repro/parallel`` — the one
-blessed fork-safety path — is exempt from RA601. Files outside the
-package (lint fixtures, benchmarks, examples) get every rule.
+dtype policy — is exempt from RA201, ``repro/parallel`` — the one
+blessed fork-safety path — is exempt from RA601, and ``repro/store`` —
+the entity payload store layer — is exempt from RA602. Files outside
+the package (lint fixtures, benchmarks, examples) get every rule.
 
 Suppression
 -----------
@@ -47,6 +48,7 @@ def _classify(path: Path) -> dict[str, bool]:
             "is_obs_package": False,
             "defines_dtype_policy": False,
             "is_parallel_package": False,
+            "is_store_package": False,
         }
     index = len(parts) - 1 - parts[::-1].index("repro")
     subpackage = parts[index + 1] if index + 1 < len(parts) - 1 else ""
@@ -55,6 +57,7 @@ def _classify(path: Path) -> dict[str, bool]:
         "is_obs_package": subpackage == "obs",
         "defines_dtype_policy": subpackage == "nn" and path.name == "tensor.py",
         "is_parallel_package": subpackage == "parallel",
+        "is_store_package": subpackage == "store",
     }
 
 

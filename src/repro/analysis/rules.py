@@ -68,6 +68,12 @@ only held by code review into machine-checked invariants:
     process fan-out elsewhere bypasses the shared-memory payload plane,
     the start-method policy, and the crash/retry handling the pool
     provides.
+
+``RA602`` raw-memmap
+    ``np.memmap`` / ``open_memmap`` (and shard payload files) may only
+    be touched inside ``repro.store`` — the entity payload store layer.
+    Ad-hoc memory mapping elsewhere bypasses the manifest validation,
+    the shard LRU/memory budget, and the ``store.*`` telemetry.
 """
 
 from __future__ import annotations
@@ -140,6 +146,8 @@ class FileContext:
     defines_dtype_policy: bool = False
     # repro.parallel is the one place allowed to import multiprocessing.
     is_parallel_package: bool = False
+    # repro.store is the one place allowed to touch np.memmap directly.
+    is_store_package: bool = False
 
     def __post_init__(self) -> None:
         for node in ast.walk(self.tree):
@@ -732,6 +740,47 @@ def check_multiprocessing_imports(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RA602 — memory mapping only through repro.store
+# ----------------------------------------------------------------------
+_MEMMAP_NAMES = frozenset({"memmap", "open_memmap"})
+
+
+def check_memmap_usage(ctx: FileContext) -> list[Finding]:
+    """RA602 raw-memmap."""
+    if ctx.is_store_package:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "numpy" or module.startswith("numpy."):
+                for alias in node.names:
+                    if alias.name in _MEMMAP_NAMES:
+                        findings.append(
+                            ctx.finding(
+                                "RA602",
+                                node,
+                                f"import of {alias.name!r} outside repro.store; "
+                                "payload memory mapping must go through the "
+                                "EntityPayloadStore backends in repro.store "
+                                "(manifest validation, shard LRU, telemetry)",
+                            )
+                        )
+        elif isinstance(node, ast.Attribute) and node.attr in _MEMMAP_NAMES:
+            findings.append(
+                ctx.finding(
+                    "RA602",
+                    node,
+                    f"direct {node.attr!r} use outside repro.store; payload "
+                    "memory mapping must go through the EntityPayloadStore "
+                    "backends in repro.store (manifest validation, shard "
+                    "LRU, telemetry)",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
@@ -784,6 +833,12 @@ RULES: tuple[Rule, ...] = (
         "raw-multiprocessing",
         "multiprocessing may only be imported inside repro.parallel",
         check_multiprocessing_imports,
+    ),
+    Rule(
+        "RA602",
+        "raw-memmap",
+        "np.memmap/open_memmap may only be used inside repro.store",
+        check_memmap_usage,
     ),
 )
 

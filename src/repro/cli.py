@@ -33,7 +33,7 @@ from repro.corpus.generator import CorpusConfig, generate_corpus
 from repro.corpus.io import load_corpus, save_corpus
 from repro.corpus.stats import EntityCounts
 from repro.corpus.vocab import SPECIAL_TOKENS, Vocabulary
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreError
 from repro.eval.patterns import PatternSlicer, mine_affordance_keywords
 from repro.eval.slices import f1_by_bucket, mentions_by_bucket
 from repro.obs.report import RunReport, diff_reports, regressions
@@ -99,6 +99,86 @@ def _telemetry_parser() -> argparse.ArgumentParser:
         help="emit structured JSON log lines instead of the text format",
     )
     return parent
+
+
+def _store_parser() -> argparse.ArgumentParser:
+    """Parent parser carrying the entity payload store flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("entity store")
+    group.add_argument(
+        "--store", choices=("dense", "mmap", "tiered"), default="dense",
+        help="entity payload backend: dense in-memory block (default), "
+             "sharded memory-mapped files, or tiered top-k%% compression "
+             "(see docs/ENTITY_STORE.md)",
+    )
+    group.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="directory holding (or receiving) the sharded mmap store; "
+             "required with --store mmap, written on first use",
+    )
+    group.add_argument(
+        "--keep-percent", type=float, default=10.0, metavar="K",
+        help="with --store tiered: keep full-precision payload rows for "
+             "the top K%% entities by popularity (default 10)",
+    )
+    group.add_argument(
+        "--store-budget-mb", type=float, default=None, metavar="MB",
+        help="with --store mmap: LRU-detach shards to keep attached "
+             "payload under this many MiB (default: unbounded)",
+    )
+    return parent
+
+
+def _configure_store(model, args: argparse.Namespace, entity_counts) -> None:
+    """Attach the requested payload store backend to the model.
+
+    ``dense`` is a no-op (the embedder builds its dense cache lazily).
+    ``mmap`` writes the sharded store to ``--store-dir`` on first use
+    and re-opens it afterwards; ``tiered`` builds the top-k% store from
+    the checkpoint's training popularity counts.
+    """
+    kind = getattr(args, "store", "dense")
+    if kind == "dense":
+        return
+    if not getattr(model, "payload_cache_enabled", False) or getattr(
+        model.config, "use_title_feature", False
+    ):
+        raise StoreError(
+            f"--store {kind} requires the static payload fast path "
+            "(payload cache enabled, no title feature)"
+        )
+    from pathlib import Path
+
+    from repro.store import ShardedMmapStore, TieredPayloadStore, write_sharded_store
+
+    embedder = model.embedder
+    planes = embedder.payload_planes()
+    if kind == "mmap":
+        if not args.store_dir:
+            raise StoreError("--store mmap requires --store-dir")
+        store_dir = Path(args.store_dir)
+        if not (store_dir / "manifest.json").exists():
+            write_sharded_store(store_dir, planes)
+        budget = (
+            int(args.store_budget_mb * 2**20)
+            if args.store_budget_mb is not None
+            else None
+        )
+        store = ShardedMmapStore.open(store_dir, memory_budget_bytes=budget)
+    else:  # tiered
+        if entity_counts is None:
+            raise StoreError(
+                "--store tiered needs entity popularity counts "
+                "(train a checkpoint that records them)"
+            )
+        store = TieredPayloadStore.build(
+            planes, np.asarray(entity_counts), args.keep_percent
+        )
+    embedder.attach_payload_store(store)
+    print(
+        f"entity store: {kind} ({store.resident_bytes() / 2**20:.1f} MiB resident)",
+        file=sys.stderr,
+    )
 
 
 def _setup_telemetry(args: argparse.Namespace) -> None:
@@ -226,7 +306,12 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def _load_model(world, checkpoint: str):
-    """Rebuild a model + vocabulary from a self-contained checkpoint."""
+    """Rebuild a model + vocabulary from a self-contained checkpoint.
+
+    Returns ``(model, vocab, config, entity_counts)`` — the training
+    popularity counts recorded in the checkpoint, which the tiered
+    payload store needs for its head/tail split.
+    """
     import json
     from pathlib import Path
 
@@ -234,21 +319,22 @@ def _load_model(world, checkpoint: str):
         metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
     vocab = _vocab_from_tokens(metadata["vocab_tokens"])
     config = BootlegConfig(**metadata["model_config"])
+    entity_counts = np.asarray(metadata["entity_counts"])
     model = BootlegModel(
-        config, world.kb, vocab,
-        entity_counts=np.asarray(metadata["entity_counts"]),
+        config, world.kb, vocab, entity_counts=entity_counts,
     )
     load_module(model, checkpoint)
     model.eval()
-    return model, vocab, config
+    return model, vocab, config, entity_counts
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``repro evaluate``: bucketed F1 of a saved model on a split."""
     world = load_world(args.world)
     corpus = load_corpus(args.corpus)
-    model, vocab, config = _load_model(world, args.model)
+    model, vocab, config, train_counts = _load_model(world, args.model)
     _maybe_profile(model, args)
+    _configure_store(model, args, train_counts)
     counts = EntityCounts.from_corpus(corpus, world.num_entities)
     dataset = NedDataset(
         corpus, args.split, vocab, world.candidate_map,
@@ -312,12 +398,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_annotate(args: argparse.Namespace) -> int:
     """``repro annotate``: disambiguate mentions in free text."""
     world = load_world(args.world)
-    model, vocab, config = _load_model(world, args.model)
+    model, vocab, config, train_counts = _load_model(world, args.model)
     _maybe_profile(model, args)
     if model.payload_cache_enabled and not config.use_title_feature:
         # Serving warm-up: build the static entity-payload cache before
         # the first request so its cost never lands on request latency.
         model.embedder.build_static_cache()
+    _configure_store(model, args, train_counts)
     annotator = BootlegAnnotator(
         model, vocab, world.candidate_map, world.kb,
         kgs=[world.kg], num_candidates=config.num_candidates,
@@ -446,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     telemetry = _telemetry_parser()
+    store = _store_parser()
 
     world_parser = sub.add_parser(
         "generate-world", help="create a synthetic world", parents=[telemetry]
@@ -489,7 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.set_defaults(func=cmd_train)
 
     eval_parser = sub.add_parser(
-        "evaluate", help="evaluate a saved model", parents=[telemetry]
+        "evaluate", help="evaluate a saved model", parents=[telemetry, store]
     )
     eval_parser.add_argument("--world", required=True)
     eval_parser.add_argument("--corpus", required=True)
@@ -517,7 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     eval_parser.set_defaults(func=cmd_evaluate)
 
     annotate_parser = sub.add_parser(
-        "annotate", help="disambiguate free text", parents=[telemetry]
+        "annotate", help="disambiguate free text", parents=[telemetry, store]
     )
     annotate_parser.add_argument("--world", required=True)
     annotate_parser.add_argument("--model", required=True)

@@ -87,11 +87,18 @@ def compressed_embeddings(
         replacement = weight[int(rng.choice(unseen_ids))].copy()
     else:
         replacement = np.zeros(weight.shape[1])
+    embedder = getattr(model, "embedder", None)
     original = weight.copy()
     try:
         for row in range(weight.shape[0]):
             if row not in kept_ids:
                 weight[row] = replacement
+        # The static payload cache bakes in the entity rows; a stale
+        # cache would make compression a silent no-op during eval.
+        if embedder is not None:
+            embedder.invalidate_static_cache()
         yield stats
     finally:
         weight[...] = original
+        if embedder is not None:
+            embedder.invalidate_static_cache()

@@ -30,6 +30,7 @@ from repro.nn.attention import AdditiveAttention
 from repro.nn.layers import Embedding, Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, concat, get_compute_dtype, no_grad
+from repro.store import DensePayloadStore, EntityPayloadStore
 
 # Rows per chunk when precomputing the static payload cache; bounds the
 # peak (chunk, T, dim) intermediate of the attention pooling.
@@ -118,9 +119,14 @@ class EntityEmbedder(Module):
             self.relation_attention = None
         self.fuse = Linear(config.input_dim, config.hidden_dim, rng)
         # Inference fast path: fused payload rows for every entity,
-        # precomputed once per model version (see build_static_cache).
+        # precomputed once per model version (see build_static_cache)
+        # and served through a pluggable EntityPayloadStore. The raw
+        # plane attributes are kept alongside for legacy callers that
+        # still read/assign arrays directly; the ``payload_store``
+        # property adopts them on first access.
         self._static_cache: np.ndarray | None = None
         self._static_entity_part: np.ndarray | None = None
+        self._payload_store: EntityPayloadStore | None = None
 
     # ------------------------------------------------------------------
     # Static payload cache (inference fast path)
@@ -172,14 +178,63 @@ class EntityEmbedder(Module):
 
     def invalidate_static_cache(self) -> None:
         """Drop the precomputed payload (parameters changed)."""
-        if obs.enabled and self._static_cache is not None:
+        if obs.enabled and (
+            self._static_cache is not None or self._payload_store is not None
+        ):
             obs.metrics.counter("entity_cache.invalidations").inc()
         self._static_cache = None
         self._static_entity_part = None
+        self._payload_store = None
 
     @property
     def static_cache_ready(self) -> bool:
-        return self._static_cache is not None
+        return self._static_cache is not None or self._payload_store is not None
+
+    @property
+    def payload_store(self) -> EntityPayloadStore | None:
+        """The store serving payload rows on the inference fast path.
+
+        Raw ``_static_cache`` planes assigned by legacy callers (pool
+        workers pointing at shm views, tests) are adopted into a dense
+        store on first access.
+        """
+        if self._payload_store is None and self._static_cache is not None:
+            self._payload_store = DensePayloadStore(
+                self._static_cache, self._static_entity_part
+            )
+        return self._payload_store
+
+    def attach_payload_store(self, store: EntityPayloadStore) -> None:
+        """Serve payload rows from ``store`` instead of the dense cache."""
+        if store.num_rows != self.num_entities:
+            raise ConfigError(
+                f"payload store has {store.num_rows} rows, "
+                f"embedder covers {self.num_entities} entities"
+            )
+        self._payload_store = store
+        if isinstance(store, DensePayloadStore):
+            self._static_cache = store.static_plane
+            self._static_entity_part = store.entity_part_plane
+        else:
+            self._static_cache = None
+            self._static_entity_part = None
+
+    def payload_planes(
+        self, title_table: np.ndarray | None = None
+    ) -> dict[str, np.ndarray]:
+        """Dense payload planes, (re)built from parameters if needed.
+
+        This is the source material for the non-dense backends: the
+        mmap writer streams these rows to disk, the tiered builder
+        splits them by popularity.
+        """
+        dtype = get_compute_dtype()
+        if self._static_cache is None or self._static_cache.dtype != dtype:
+            self.build_static_cache(title_table=title_table)
+        planes = {"static": self._static_cache}
+        if self._static_entity_part is not None:
+            planes["entity_part"] = self._static_entity_part
+        return planes
 
     def build_static_cache(self, title_table: np.ndarray | None = None) -> None:
         """Precompute the sentence-independent payload for every entity.
@@ -228,6 +283,7 @@ class EntityEmbedder(Module):
                     static[ids] += titles @ weight[segments["title"]]
         self._static_cache = static
         self._static_entity_part = entity_part
+        self._payload_store = DensePayloadStore(static, entity_part)
 
     def forward_cached(
         self,
@@ -240,24 +296,27 @@ class EntityEmbedder(Module):
         """Assemble E by gathering cached static rows (inference only).
 
         Numerically equivalent to :meth:`forward` with no entity-drop
-        mask, up to float summation order. The cache is (re)built lazily
-        when absent or when the active compute dtype changed.
+        mask, up to float summation order (exactly so for the dense
+        backend). The dense cache is (re)built lazily when no store is
+        attached or when the active compute dtype changed.
         """
         dtype = get_compute_dtype()
-        hit = self._static_cache is not None and self._static_cache.dtype == dtype
+        store = self.payload_store
+        hit = store is not None and store.dtype == dtype
         if obs.enabled:
             # Touch both counters so exports always carry the pair.
             obs.metrics.counter("entity_cache.hit").inc(1 if hit else 0)
             obs.metrics.counter("entity_cache.miss").inc(0 if hit else 1)
         if not hit:
             self.build_static_cache(title_table=title_table)
+            store = self._payload_store
         config = self.config
         safe_ids = np.where(candidate_ids >= 0, candidate_ids, 0)
-        out = self._static_cache[safe_ids]  # (B, M, K, H), fresh array
+        out = store.gather(safe_ids)  # (B, M, K, H), fresh array
         if config.use_entity:
             drop = ~candidate_mask
             if drop.any():
-                out[drop] -= self._static_entity_part[safe_ids[drop]]
+                out[drop] -= store.gather_entity_part(safe_ids[drop])
         weight = self.fuse.weight.data
         segments = self._segment_slices()
         if config.use_types and config.use_type_prediction:

@@ -149,15 +149,17 @@ class NedDataset:
         is_weak = np.zeros(num_mentions, dtype=bool)
         evaluable = np.zeros(num_mentions, dtype=bool)
         for i, mention in enumerate(mentions):
-            ranked = self.candidate_map.get_candidates(mention.surface, k)
-            ids = [entity_id for entity_id, _ in ranked]
-            candidate_ids[i, : len(ids)] = ids
+            # Presorted array views from the flat index — the serving
+            # hot path builds no per-mention lists or tuples.
+            ids, _ = self.candidate_map.candidate_arrays(mention.surface, k)
+            candidate_ids[i, : ids.shape[0]] = ids
             gold_entity_ids[i] = mention.gold_entity_id
             spans[i] = (mention.start, mention.end)
             is_weak[i] = mention.is_weak_label
-            if mention.gold_entity_id in ids:
-                gold_candidate[i] = ids.index(mention.gold_entity_id)
-                evaluable[i] = len(ids) > 1 and not mention.is_weak_label
+            hits = np.nonzero(ids == mention.gold_entity_id)[0]
+            if hits.size:
+                gold_candidate[i] = int(hits[0])
+                evaluable[i] = ids.shape[0] > 1 and not mention.is_weak_label
         flat = candidate_ids.reshape(-1)
         adjacencies = [
             kg.candidate_adjacency(flat, use_weights=True, pad_id=CANDIDATE_PAD)

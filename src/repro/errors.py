@@ -60,6 +60,10 @@ class SerializationError(ReproError):
     """A model checkpoint could not be saved or loaded."""
 
 
+class StoreError(ReproError):
+    """The entity payload store was written, opened, or queried inconsistently."""
+
+
 class ParallelError(ReproError):
     """The parallel execution layer failed (worker crash, shm export)."""
 

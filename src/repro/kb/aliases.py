@@ -4,9 +4,22 @@ Candidate lists are mined from anchor links and "also known as" fields
 (see :mod:`repro.candgen.mining`); this module is the storage and lookup
 layer. Candidates are ranked by a prior (anchor-link count), and lookups
 truncate to the top ``K``.
+
+Lookup is served from a presorted, offset-indexed flat array built
+lazily after the last mutation: one sorted alias table, one ``int64``
+offsets array, and flat id/score arrays holding every alias's
+candidates already ranked best-first. A lookup is a binary search plus
+two slices — no sorting, no allocation proportional to bucket size —
+so candidate generation stays sublinear per mention even on web-scale
+alias tables. ``add``/``merge`` invalidate the index; the mutation dict
+remains the source of truth.
 """
 
 from __future__ import annotations
+
+import bisect
+
+import numpy as np
 
 from repro.errors import KnowledgeBaseError, UnknownAliasError
 
@@ -16,11 +29,55 @@ def normalize_alias(alias: str) -> str:
     return " ".join(alias.lower().split())
 
 
+def _rank_bucket(bucket: dict[int, float]) -> list[tuple[int, float]]:
+    """Rank one alias bucket best-first; ties break by entity id.
+
+    Only called while (re)building the flat index — the per-lookup path
+    never sorts (tests monkeypatch this to assert exactly that).
+    """
+    return sorted(bucket.items(), key=lambda item: (-item[1], item[0]))
+
+
+class _FlatIndex:
+    """Immutable presorted view over a snapshot of the candidate dict."""
+
+    __slots__ = ("aliases", "offsets", "entity_ids", "scores")
+
+    def __init__(self, candidates: dict[str, dict[int, float]]) -> None:
+        self.aliases = sorted(candidates)
+        offsets = np.zeros(len(self.aliases) + 1, dtype=np.int64)
+        flat_ids: list[int] = []
+        flat_scores: list[float] = []
+        for index, alias in enumerate(self.aliases):
+            for entity_id, score in _rank_bucket(candidates[alias]):
+                flat_ids.append(entity_id)
+                flat_scores.append(score)
+            offsets[index + 1] = len(flat_ids)
+        self.offsets = offsets
+        self.entity_ids = np.asarray(flat_ids, dtype=np.int64)
+        self.scores = np.asarray(flat_scores, dtype=np.float64)
+
+    def find(self, key: str) -> int:
+        """Position of ``key`` in the alias table, or -1."""
+        position = bisect.bisect_left(self.aliases, key)
+        if position < len(self.aliases) and self.aliases[position] == key:
+            return position
+        return -1
+
+    def slices(self, position: int, k: int | None) -> tuple[np.ndarray, np.ndarray]:
+        start = int(self.offsets[position])
+        stop = int(self.offsets[position + 1])
+        if k is not None:
+            stop = min(stop, start + k)
+        return self.entity_ids[start:stop], self.scores[start:stop]
+
+
 class CandidateMap:
     """Γ: maps each alias to scored candidate entities."""
 
     def __init__(self) -> None:
         self._candidates: dict[str, dict[int, float]] = {}
+        self._index: _FlatIndex | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -36,6 +93,7 @@ class CandidateMap:
             raise KnowledgeBaseError("alias must be non-empty")
         bucket = self._candidates.setdefault(key, {})
         bucket[entity_id] = bucket.get(entity_id, 0.0) + score
+        self._index = None
 
     def merge(self, other: "CandidateMap") -> None:
         """Fold another map's candidates into this one (scores add)."""
@@ -43,6 +101,12 @@ class CandidateMap:
             target = self._candidates.setdefault(alias, {})
             for entity_id, score in bucket.items():
                 target[entity_id] = target.get(entity_id, 0.0) + score
+        self._index = None
+
+    def _ensure_index(self) -> _FlatIndex:
+        if self._index is None:
+            self._index = _FlatIndex(self._candidates)
+        return self._index
 
     # ------------------------------------------------------------------
     # Lookup
@@ -54,7 +118,7 @@ class CandidateMap:
         return len(self._candidates)
 
     def aliases(self) -> list[str]:
-        return sorted(self._candidates)
+        return list(self._ensure_index().aliases)
 
     def candidates(self, alias: str, k: int | None = None) -> list[tuple[int, float]]:
         """Top-``k`` (entity_id, score) candidates, best first.
@@ -62,14 +126,27 @@ class CandidateMap:
         Ties are broken by entity id for determinism. Raises
         :class:`UnknownAliasError` if the alias has no entry.
         """
-        key = normalize_alias(alias)
-        bucket = self._candidates.get(key)
-        if bucket is None:
+        index = self._ensure_index()
+        position = index.find(normalize_alias(alias))
+        if position < 0:
             raise UnknownAliasError(alias)
-        ranked = sorted(bucket.items(), key=lambda item: (-item[1], item[0]))
-        if k is not None:
-            ranked = ranked[:k]
-        return ranked
+        entity_ids, scores = index.slices(position, k)
+        return list(zip(entity_ids.tolist(), scores.tolist()))
+
+    def candidate_arrays(
+        self, alias: str, k: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` candidates as read-only array views, best first.
+
+        The allocation-free hot path: returns slices into the flat
+        index (``int64`` ids, ``float64`` scores) without building
+        tuples. Returns empty arrays for unknown aliases.
+        """
+        index = self._ensure_index()
+        position = index.find(normalize_alias(alias))
+        if position < 0:
+            return index.entity_ids[:0], index.scores[:0]
+        return index.slices(position, k)
 
     def candidate_ids(self, alias: str, k: int | None = None) -> list[int]:
         """Top-``k`` candidate entity ids, best first."""

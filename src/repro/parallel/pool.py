@@ -162,24 +162,52 @@ def _model_kind(model) -> str:
 
 
 def _install_bootleg_extras(model, attached: AttachedArrays) -> None:
-    """Point the static payload cache at the shared views (zero-copy)."""
+    """Rebuild the owner's payload store against shared state (zero-copy).
+
+    Manifests carrying a store descriptor are the current protocol: the
+    worker restores the store from its shm-resident component arrays
+    (dense/tiered) or by re-opening the shard files (mmap — pages are
+    shared through the OS page cache, not the shm block). The bare
+    ``cache.*`` keys remain as the legacy path for manifests exported
+    without a descriptor.
+    """
+    from repro.store import restore_from_export
+
+    store_meta = getattr(attached.manifest, "store", None)
+    if store_meta is not None:
+        arrays = {
+            key[len("store."):]: attached[key]
+            for key in attached.manifest.keys()
+            if key.startswith("store.")
+        }
+        model.embedder.attach_payload_store(
+            restore_from_export(store_meta, arrays)
+        )
+        return
     if "cache.static" in attached:
         model.embedder._static_cache = attached["cache.static"]
         if "cache.entity_part" in attached:
             model.embedder._static_entity_part = attached["cache.entity_part"]
 
 
-def _export_arrays(model) -> dict[str, np.ndarray]:
-    """Collect the frozen arrays a worker must share: params + cache."""
+def _export_arrays(model) -> tuple[dict[str, np.ndarray], dict | None]:
+    """Collect what a worker must share: params + the payload store.
+
+    Returns the shm array dict plus the store descriptor to embed in
+    the manifest. Store component arrays travel under ``store.*`` keys;
+    a file-backed store contributes no arrays, only the descriptor.
+    """
     arrays: dict[str, np.ndarray] = {}
     for name, param in model.named_parameters():
         arrays[f"param.{name}"] = param.data
+    store_meta: dict | None = None
     embedder = getattr(model, "embedder", None)
     if embedder is not None and getattr(embedder, "static_cache_ready", False):
-        arrays["cache.static"] = embedder._static_cache
-        if embedder._static_entity_part is not None:
-            arrays["cache.entity_part"] = embedder._static_entity_part
-    return arrays
+        store = embedder.payload_store
+        store_meta = store.export_meta()
+        for key, array in store.export_arrays().items():
+            arrays[f"store.{key}"] = array
+    return arrays, store_meta
 
 
 def _spec_from_model(model, manifest: ShmManifest, compute: np.dtype) -> WorkerSpec:
@@ -430,7 +458,8 @@ class AnnotatorPool:
 
             with compute_dtype(self._compute):
                 embedder.build_static_cache()
-        self._store = SharedArrayStore.export(_export_arrays(model))
+        arrays, store_meta = _export_arrays(model)
+        self._store = SharedArrayStore.export(arrays, store_meta=store_meta)
         spec = _spec_from_model(model, self._store.manifest, self._compute)
         spec.observe = obs.enabled
         annotator = self._annotator

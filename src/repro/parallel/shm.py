@@ -74,11 +74,19 @@ class ShmEntry:
 
 @dataclasses.dataclass(frozen=True)
 class ShmManifest:
-    """Everything a worker needs to reattach the payload plane."""
+    """Everything a worker needs to reattach the payload plane.
+
+    ``store`` is an optional picklable entity-payload-store descriptor
+    (:meth:`repro.store.base.EntityPayloadStore.export_meta`): when
+    present, workers rebuild the store from it — attaching shards or
+    shm-resident component arrays (packed under ``store.*`` keys) —
+    instead of copying a private payload cache.
+    """
 
     block_name: str
     total_bytes: int
     entries: tuple[ShmEntry, ...]
+    store: dict | None = None
 
     def keys(self) -> list[str]:
         return [entry.key for entry in self.entries]
@@ -113,8 +121,14 @@ class SharedArrayStore:
         self._closed = False
 
     @classmethod
-    def export(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayStore":
-        """Copy ``arrays`` into a fresh shared block and return the store."""
+    def export(
+        cls, arrays: dict[str, np.ndarray], store_meta: dict | None = None
+    ) -> "SharedArrayStore":
+        """Copy ``arrays`` into a fresh shared block and return the store.
+
+        ``store_meta`` rides along in the manifest so workers can
+        rebuild the owner's entity payload store (see ``ShmManifest``).
+        """
         if not shared_memory_available():
             raise ParallelError("shared memory is unavailable on this system")
         entries: list[ShmEntry] = []
@@ -145,7 +159,10 @@ class SharedArrayStore:
             )
             view[...] = contiguous[entry.key]
         manifest = ShmManifest(
-            block_name=block.name, total_bytes=total, entries=tuple(entries)
+            block_name=block.name,
+            total_bytes=total,
+            entries=tuple(entries),
+            store=store_meta,
         )
         if obs.enabled:
             obs.metrics.gauge("parallel.shm_bytes").set(float(total))

@@ -1,0 +1,33 @@
+"""Pluggable entity payload stores (dense / sharded mmap / tiered).
+
+See :mod:`repro.store.base` for the interface and
+``docs/ENTITY_STORE.md`` for the design.
+"""
+
+from repro.store.base import (
+    EntityPayloadStore,
+    register_store_kind,
+    restore_from_export,
+    store_kinds,
+)
+from repro.store.dense import DensePayloadStore
+from repro.store.mmap import (
+    DEFAULT_SHARD_ROWS,
+    ShardedMmapStore,
+    ShardedStoreWriter,
+    write_sharded_store,
+)
+from repro.store.tiered import TieredPayloadStore
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "DensePayloadStore",
+    "EntityPayloadStore",
+    "ShardedMmapStore",
+    "ShardedStoreWriter",
+    "TieredPayloadStore",
+    "register_store_kind",
+    "restore_from_export",
+    "store_kinds",
+    "write_sharded_store",
+]

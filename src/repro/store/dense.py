@@ -1,0 +1,89 @@
+"""Dense in-memory payload store — the default backend.
+
+Holds each plane as one contiguous ndarray, exactly as the pre-store
+``EntityEmbedder._static_cache`` did; gathers are plain fancy indexing,
+so annotations are byte-identical to the historical fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.base import EntityPayloadStore, register_store_kind
+
+
+@register_store_kind
+class DensePayloadStore(EntityPayloadStore):
+    """One in-memory block per plane; zero indirection on gather."""
+
+    kind = "dense"
+
+    def __init__(self, static: np.ndarray, entity_part: np.ndarray | None = None) -> None:
+        static = np.asarray(static)
+        if static.ndim != 2:
+            raise StoreError(
+                f"static plane must be 2-D, got shape {static.shape}"
+            )
+        if entity_part is not None:
+            entity_part = np.asarray(entity_part)
+            if entity_part.shape != static.shape:
+                raise StoreError(
+                    "entity_part plane shape "
+                    f"{entity_part.shape} != static plane shape {static.shape}"
+                )
+        self._static = static
+        self._entity_part = entity_part
+
+    @property
+    def num_rows(self) -> int:
+        return int(self._static.shape[0])
+
+    @property
+    def hidden_dim(self) -> int:
+        return int(self._static.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._static.dtype
+
+    @property
+    def has_entity_part(self) -> bool:
+        return self._entity_part is not None
+
+    def _gather_static(self, ids: np.ndarray) -> np.ndarray:
+        return self._static[ids]
+
+    def _gather_entity_part(self, ids: np.ndarray) -> np.ndarray:
+        return self._entity_part[ids]
+
+    def resident_bytes(self) -> int:
+        total = self._static.nbytes
+        if self._entity_part is not None:
+            total += self._entity_part.nbytes
+        return int(total)
+
+    # Raw plane access for callers that still speak in arrays (the
+    # embedder's legacy ``_static_cache`` attribute, shm export).
+    @property
+    def static_plane(self) -> np.ndarray:
+        return self._static
+
+    @property
+    def entity_part_plane(self) -> np.ndarray | None:
+        return self._entity_part
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        arrays = {"static": self._static}
+        if self._entity_part is not None:
+            arrays["entity_part"] = self._entity_part
+        return arrays
+
+    def export_meta(self) -> dict:
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_export(cls, meta: dict, arrays: dict[str, np.ndarray]) -> "DensePayloadStore":
+        if "static" not in arrays:
+            raise StoreError("dense store export is missing the static plane")
+        return cls(arrays["static"], arrays.get("entity_part"))

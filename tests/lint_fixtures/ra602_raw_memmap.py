@@ -1,0 +1,8 @@
+"""Fixture: direct memory mapping outside repro.store fires RA602 twice."""
+
+import numpy as np
+from numpy import memmap  # noqa: F401  (finding 1: import)
+
+
+def load_payload(path):
+    return np.memmap(path, dtype="<f4", mode="r")  # finding 2: attribute

@@ -61,6 +61,7 @@ def _probe(module):
         ("ra403_unsafe_labels.py", "RA403", 3),
         ("ra501_cache_invalidation.py", "RA501", 3),
         ("ra601_raw_multiprocessing.py", "RA601", 2),
+        ("ra602_raw_memmap.py", "RA602", 2),
     ],
 )
 def test_fixture_fires_exactly_its_rule(filename, rule, count):
@@ -90,6 +91,17 @@ def test_ra601_exempts_the_parallel_package():
     assert lint_source(source, "blob.py", is_parallel_package=True) == []
     findings = lint_source(source, "blob.py")
     assert [f.rule for f in findings] == ["RA601", "RA601"]
+
+
+def test_ra602_exempts_the_store_package():
+    source = (
+        "import numpy as np\n"
+        "from numpy.lib.format import open_memmap\n"
+        "m = np.memmap('x.payload', dtype='<f4', mode='r')\n"
+    )
+    assert lint_source(source, "blob.py", is_store_package=True) == []
+    findings = lint_source(source, "blob.py")
+    assert [f.rule for f in findings] == ["RA602", "RA602"]
 
 
 def test_syntax_error_reports_ra000():

@@ -265,6 +265,44 @@ class TestCandidateMap:
         assert stats["mean_ambiguity"] == pytest.approx(1.5)
         assert stats["max_ambiguity"] == 2
 
+    def test_lookups_do_not_sort_per_call(self, monkeypatch):
+        """Regression: ranking happens at index build, never per lookup."""
+        import repro.kb.aliases as aliases_mod
+
+        cmap = CandidateMap()
+        cmap.add("x", 5, 1.0)
+        cmap.add("x", 2, 1.0)
+        cmap.add("y", 7, 3.0)
+        cmap.candidates("x")  # builds the flat index
+
+        def boom(bucket):
+            raise AssertionError("per-lookup sort detected")
+
+        monkeypatch.setattr(aliases_mod, "_rank_bucket", boom)
+        assert cmap.candidate_ids("x") == [2, 5]
+        assert cmap.candidates("y", k=1) == [(7, 3.0)]
+        ids, scores = cmap.candidate_arrays("x")
+        assert ids.tolist() == [2, 5]
+        assert scores.tolist() == [1.0, 1.0]
+        # Mutation invalidates; the next lookup re-ranks (and so trips).
+        cmap.add("x", 9, 9.0)
+        with pytest.raises(AssertionError, match="per-lookup sort"):
+            cmap.candidates("x")
+
+    def test_candidate_arrays_matches_candidates(self):
+        cmap = CandidateMap()
+        cmap.add("alias a", 3, 2.0)
+        cmap.add("alias a", 1, 5.0)
+        cmap.add("alias b", 8)
+        for alias in ("alias a", "alias b"):
+            for k in (None, 1, 5):
+                ids, scores = cmap.candidate_arrays(alias, k)
+                assert list(zip(ids.tolist(), scores.tolist())) == cmap.candidates(
+                    alias, k
+                )
+        unknown_ids, unknown_scores = cmap.candidate_arrays("nope")
+        assert unknown_ids.shape == (0,) and unknown_scores.shape == (0,)
+
 
 def small_world_config(**overrides):
     defaults = dict(num_entities=300, seed=3)
