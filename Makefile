@@ -1,8 +1,8 @@
 # Convenience targets for the Bootleg reproduction.
 
 .PHONY: install test lint check bench bench-core bench-core-baseline \
-	bench-fresh bench-parallel bench-store obs-demo report-demo examples \
-	clean-cache
+	bench-fresh bench-parallel bench-store obs-demo obs-live-demo \
+	report-demo examples clean-cache
 
 install:
 	pip install -e .
@@ -31,7 +31,8 @@ check: lint
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_PARALLEL_START_METHOD=spawn PYTHONPATH=src \
 		python -m pytest tests/test_parallel.py tests/test_report.py \
-		tests/test_store.py -x -q
+		tests/test_store.py tests/test_live_obs.py -x -q
+	$(MAKE) obs-live-demo
 
 test-report:
 	pytest tests/ 2>&1 | tee test_output.txt
@@ -61,8 +62,9 @@ bench-core-baseline:
 # Annotator-pool and prefetch speedup vs. the serial path; asserts
 # byte-identical outputs and bounded shared-memory overhead, and gates
 # the 2x-speedup floor on having >= 4 usable cores (see the script).
-# Compared against the committed baseline when one exists; warn-only
-# until benchmarks/bench_parallel_baseline.json is committed.
+# Fails on a >20% mean regression against the committed baseline
+# (benchmarks/bench_parallel_baseline.json; refresh it deliberately and
+# commit after an intentional perf change).
 bench-parallel:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src python benchmarks/bench_parallel.py \
@@ -70,13 +72,14 @@ bench-parallel:
 	python benchmarks/compare_to_baseline.py \
 		benchmarks/results/BENCH_parallel.json \
 		benchmarks/bench_parallel_baseline.json \
-		--max-regression 0.20 --missing-baseline-ok
+		--max-regression 0.20
 
 # Entity payload store gates (docs/ENTITY_STORE.md): (a) warm mmap row
 # gather within 1.3x of dense, (b) a 1M-entity synthetic payload served
 # under a fixed resident budget with store.resident_bytes telemetry,
-# (c) byte-identical annotations dense vs mmap. Baseline comparison is
-# warn-only until benchmarks/bench_store_baseline.json is committed.
+# (c) byte-identical annotations dense vs mmap. Fails on a >20% mean
+# regression against the committed baseline
+# (benchmarks/bench_store_baseline.json).
 bench-store:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src python benchmarks/bench_store.py \
@@ -84,7 +87,7 @@ bench-store:
 	python benchmarks/compare_to_baseline.py \
 		benchmarks/results/BENCH_store.json \
 		benchmarks/bench_store_baseline.json \
-		--max-regression 0.20 --missing-baseline-ok
+		--max-regression 0.20
 
 # Emit a sample telemetry bundle (metrics JSON + Chrome trace) from the
 # quickstart example into benchmarks/results/; load the trace in
@@ -94,6 +97,13 @@ obs-demo:
 	PYTHONPATH=src python examples/quickstart.py \
 		--metrics-out benchmarks/results/obs_metrics.json \
 		--trace-out benchmarks/results/obs_trace.json
+
+# Live-telemetry smoke test: run a pooled evaluate with --serve-metrics
+# and scrape /metrics + /healthz mid-run, asserting per-worker series
+# (worker="0"..) and sampler gauges are live while work is in flight.
+# Exits 0 with a skip note on boxes without POSIX shared memory.
+obs-live-demo:
+	PYTHONPATH=src python benchmarks/obs_live_demo.py
 
 # Train + evaluate a small world end to end and emit the full report
 # bundle (JSON + self-contained HTML dashboard + merged pool metrics)

@@ -56,6 +56,16 @@ only held by code review into machine-checked invariants:
     way. The ``repro.obs`` package (which re-keys merged snapshots) is
     exempt.
 
+``RA404`` metric-naming
+    Units belong in the metric name (the Prometheus convention the live
+    ``/metrics`` endpoint exposes): a histogram whose (static) name
+    mentions a duration (``latency``, ``duration``, ``time``, ``ms``,
+    …) must use the ``_seconds`` suffix and record seconds; a gauge
+    whose name mentions a byte quantity (``mb``, ``mem``, ``rss``, …)
+    must use the ``_bytes`` suffix and record bytes. Only constant
+    names are checked, so registries that re-key merged snapshots
+    through variables are unaffected.
+
 ``RA501`` cache-invalidation
     A ``Module`` subclass whose ``__init__`` creates a cache attribute
     (``*cache*``, except ``*_enabled`` flags) must override ``train``,
@@ -80,6 +90,7 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import re
 from collections.abc import Callable, Iterator
 
 from repro.analysis.findings import SEVERITY_ERROR, Finding
@@ -626,6 +637,79 @@ def check_metric_labels(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RA404 — units in metric names: _seconds histograms, _bytes gauges
+# ----------------------------------------------------------------------
+# Name tokens that mark a metric as measuring a duration / a byte
+# quantity. Tokens are whole [._]-separated segments ("runtime" does not
+# contain the token "time"), so fixed vocabularies stay cheap to audit.
+_DURATION_NAME_TOKENS = frozenset(
+    {"seconds", "sec", "secs", "latency", "duration", "elapsed", "time",
+     "ms", "millis", "milliseconds", "us", "micros", "ns", "nanos"}
+)
+_BYTE_NAME_TOKENS = frozenset(
+    {"bytes", "byte", "kb", "mb", "gb", "kib", "mib", "gib",
+     "mem", "memory", "rss", "size"}
+)
+_NAME_TOKEN_SPLIT = re.compile(r"[._]")
+
+
+def _metric_name_tokens(name: str) -> set[str]:
+    return {tok for tok in _NAME_TOKEN_SPLIT.split(name.lower()) if tok}
+
+
+def check_metric_naming(ctx: FileContext) -> list[Finding]:
+    """RA404 metric-naming."""
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        emission, label = _is_emission(node)
+        if not emission or label not in (
+            "metrics.histogram", "metrics.gauge"
+        ):
+            continue
+        if not node.args:
+            continue
+        name_arg = node.args[0]
+        if not (
+            isinstance(name_arg, ast.Constant)
+            and isinstance(name_arg.value, str)
+        ):
+            continue
+        name = name_arg.value
+        tokens = _metric_name_tokens(name)
+        if (
+            label == "metrics.histogram"
+            and tokens & _DURATION_NAME_TOKENS
+            and not name.endswith("_seconds")
+        ):
+            findings.append(
+                ctx.finding(
+                    "RA404",
+                    name_arg,
+                    f"duration histogram {name!r} must record seconds under "
+                    "a `_seconds`-suffixed name; unit-ambiguous duration "
+                    "names cannot be read off the /metrics exposition",
+                )
+            )
+        elif (
+            label == "metrics.gauge"
+            and tokens & _BYTE_NAME_TOKENS
+            and not name.endswith("_bytes")
+        ):
+            findings.append(
+                ctx.finding(
+                    "RA404",
+                    name_arg,
+                    f"byte gauge {name!r} must record bytes under a "
+                    "`_bytes`-suffixed name; unit-ambiguous size names "
+                    "cannot be read off the /metrics exposition",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # RA501 — cache-bearing modules must invalidate on parameter mutation
 # ----------------------------------------------------------------------
 _MUTATING_METHODS = ("train", "load_state_dict", "to_dtype")
@@ -821,6 +905,12 @@ RULES: tuple[Rule, ...] = (
         "unsafe-metric-label",
         "metric label values must be static and metric-key-safe",
         check_metric_labels,
+    ),
+    Rule(
+        "RA404",
+        "metric-naming",
+        "duration histograms need `_seconds`, byte gauges `_bytes` suffixes",
+        check_metric_naming,
     ),
     Rule(
         "RA501",

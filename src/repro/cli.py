@@ -98,6 +98,22 @@ def _telemetry_parser() -> argparse.ArgumentParser:
         "--json-logs", action="store_true",
         help="emit structured JSON log lines instead of the text format",
     )
+    group.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP on this port (/metrics "
+             "Prometheus exposition, /metrics.json, /healthz, /trace); "
+             "0 binds an ephemeral port, printed on stderr",
+    )
+    group.add_argument(
+        "--sample-interval", type=float, default=1.0, metavar="SECONDS",
+        help="resource sampler + live worker-snapshot cadence when "
+             "--serve-metrics is active (default 1.0)",
+    )
+    group.add_argument(
+        "--flight-dir", metavar="DIR", default=None,
+        help="enable the flight recorder: keep a ring of recent spans "
+             "and dump a JSON bundle to DIR on SIGUSR2 or a crash",
+    )
     return parent
 
 
@@ -179,6 +195,35 @@ def _configure_store(model, args: argparse.Namespace, entity_counts) -> None:
         f"entity store: {kind} ({store.resident_bytes() / 2**20:.1f} MiB resident)",
         file=sys.stderr,
     )
+    if getattr(args, "serve_metrics", None) is not None:
+        # Plug the store into the live plane: /healthz readiness and a
+        # sampled store.resident_bytes gauge. Cleaned up in
+        # _teardown_live so a later command in-process starts fresh.
+        from repro.obs import exporter
+        from repro.obs import sampler as sampler_mod
+
+        exporter.health.register("store", store.health)
+        _LIVE["store_health"] = store.health
+        _LIVE["store_gauge"] = sampler_mod.register_gauge_source(
+            "store.resident_bytes", store.resident_bytes
+        )
+
+
+# Live telemetry plane state for the duration of one CLI command:
+# the HTTP server, the resource sampler, the flight recorder, and any
+# registration tokens that must be released at exit.
+_LIVE: dict[str, object] = {}
+
+
+def _pool_interval(args: argparse.Namespace) -> float | None:
+    """Worker snapshot cadence: match the sampler when serving live.
+
+    Without ``--serve-metrics`` the pool keeps its default cadence —
+    nothing scrapes mid-run, so there is no reason to ship faster.
+    """
+    if getattr(args, "serve_metrics", None) is not None:
+        return args.sample_interval
+    return None
 
 
 def _setup_telemetry(args: argparse.Namespace) -> None:
@@ -188,21 +233,71 @@ def _setup_telemetry(args: argparse.Namespace) -> None:
     wants_report = getattr(args, "report_out", None) or getattr(
         args, "report_html", None
     )
-    if args.metrics_out or args.trace_out or wants_report:
-        # Run reports bundle the metrics snapshot, so requesting one
-        # turns recording on even without --metrics-out.
+    serving = args.serve_metrics is not None
+    if (
+        args.metrics_out or args.trace_out or wants_report
+        or serving or args.flight_dir
+    ):
+        # Run reports and the live plane bundle/serve the metrics
+        # snapshot, so requesting either turns recording on even
+        # without --metrics-out.
         obs.reset()
         obs.enable()
+    if serving:
+        from repro.obs.exporter import TelemetryServer
+        from repro.obs.sampler import ResourceSampler
+
+        server = TelemetryServer(port=args.serve_metrics).start()
+        _LIVE["server"] = server
+        _LIVE["sampler"] = ResourceSampler(
+            interval=args.sample_interval
+        ).start()
+        print(f"telemetry endpoint at {server.url}/metrics", file=sys.stderr)
+    if args.flight_dir:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(dump_dir=args.flight_dir).attach()
+        recorder.install_signal_handler()
+        recorder.install_crash_handler()
+        _LIVE["flight"] = recorder
+
+
+def _teardown_live() -> None:
+    recorder = _LIVE.pop("flight", None)
+    if recorder is not None:
+        recorder.uninstall_crash_handler()
+        recorder.uninstall_signal_handler()
+        recorder.detach()
+    sampler = _LIVE.pop("sampler", None)
+    if sampler is not None:
+        sampler.stop()
+    server = _LIVE.pop("server", None)
+    if server is not None:
+        server.stop()
+    token = _LIVE.pop("store_gauge", None)
+    if token is not None:
+        from repro.obs import sampler as sampler_mod
+
+        sampler_mod.unregister_gauge_source(token)
+    probe = _LIVE.pop("store_health", None)
+    if probe is not None:
+        from repro.obs import exporter
+
+        exporter.health.unregister("store", probe)
 
 
 def _export_telemetry(args: argparse.Namespace) -> None:
+    _teardown_live()
     if args.metrics_out:
         obs.metrics.export_json(args.metrics_out)
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.trace_out:
         obs.tracer.export_chrome(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
-    if args.metrics_out or args.trace_out:
+    if (
+        args.metrics_out or args.trace_out
+        or args.serve_metrics is not None or args.flight_dir
+    ):
         obs.disable()
 
 
@@ -345,7 +440,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         from repro.parallel import predict_batches as parallel_predict
 
         records = parallel_predict(
-            model, dataset.batches(args.batch_size), workers=args.workers
+            model,
+            dataset.batches(args.batch_size),
+            workers=args.workers,
+            telemetry_interval=_pool_interval(args),
         )
     else:
         records = predict(model, dataset)
@@ -412,7 +510,9 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     if args.workers > 1:
         from repro.parallel import AnnotatorPool
 
-        with AnnotatorPool.from_annotator(annotator, args.workers) as pool:
+        with AnnotatorPool.from_annotator(
+            annotator, args.workers, telemetry_interval=_pool_interval(args)
+        ) as pool:
             annotations = pool.annotate_batch([args.text])[0]
     else:
         annotations = annotator.annotate(args.text)

@@ -18,6 +18,14 @@ Typical use::
 The CLI wires this up via ``--metrics-out`` / ``--trace-out``; tests use
 :func:`scope` to enable against fresh instruments and restore the
 previous state on exit.
+
+The *live* telemetry plane — :class:`TelemetryServer` (``/metrics`` +
+``/healthz`` HTTP endpoints), :class:`ResourceSampler` (periodic /proc
+gauges), and :class:`FlightRecorder` (bounded ring of recent spans with
+SIGUSR2/crash dump) — is exported lazily via module ``__getattr__`` so
+importing ``repro.obs`` never pulls in ``http.server`` unless the live
+plane is actually used. The CLI wires those up via ``--serve-metrics``
+/ ``--sample-interval`` / ``--flight-dir``.
 """
 
 from __future__ import annotations
@@ -53,7 +61,37 @@ __all__ = [
     "scope",
     "metrics",
     "tracer",
+    # Lazy (module __getattr__): the live telemetry plane.
+    "TelemetryServer",
+    "HealthRegistry",
+    "render_prometheus",
+    "ResourceSampler",
+    "FlightRecorder",
 ]
+
+# Lazy exports keep http.server/signal machinery out of the import path
+# of instrumented hot loops; resolved on first attribute access.
+_LAZY = {
+    "TelemetryServer": ("repro.obs.exporter", "TelemetryServer"),
+    "HealthRegistry": ("repro.obs.exporter", "HealthRegistry"),
+    "render_prometheus": ("repro.obs.exporter", "render_prometheus"),
+    "ResourceSampler": ("repro.obs.sampler", "ResourceSampler"),
+    "FlightRecorder": ("repro.obs.flight", "FlightRecorder"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
 
 # The one-attribute-check guard. Instrumented hot loops read this
 # directly (``if obs.enabled:``); everything else is behind it.

@@ -264,14 +264,20 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Snapshot of every instrument, JSON-serializable."""
-        return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {
-                k: h.summary() for k, h in sorted(self._histograms.items())
-            },
-        }
+        """Snapshot of every instrument, JSON-serializable.
+
+        Taken under the creation lock so a live scrape (the telemetry
+        endpoint's server thread) never iterates the instrument maps
+        while the recording thread is inserting a new instrument.
+        """
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.summary() for k, h in sorted(self._histograms.items())
+                },
+            }
 
     def snapshot(self) -> dict:
         """Mergeable, picklable state of every instrument.
@@ -279,19 +285,21 @@ class MetricsRegistry:
         Unlike :meth:`to_dict` (a human/JSON summary), the snapshot
         carries full histogram reservoirs so :meth:`merge` can combine
         registries from different processes without losing quantile
-        information.
+        information. Locked like :meth:`to_dict` so concurrent scrapes
+        are safe against instrument creation.
         """
-        return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {
-                k: g.value
-                for k, g in sorted(self._gauges.items())
-                if g.value is not None
-            },
-            "histograms": {
-                k: h.snapshot() for k, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {
+                    k: g.value
+                    for k, g in sorted(self._gauges.items())
+                    if g.value is not None
+                },
+                "histograms": {
+                    k: h.snapshot() for k, h in sorted(self._histograms.items())
+                },
+            }
 
     def merge(self, snapshot: dict, **labels) -> None:
         """Fold a :meth:`snapshot` from another registry into this one.

@@ -32,6 +32,7 @@ import dataclasses
 import math
 import os
 import queue as _queue
+import threading
 import time
 import traceback
 from collections.abc import Callable, Iterable, Sequence
@@ -44,7 +45,11 @@ import numpy as np
 
 import repro.obs as obs
 from repro.errors import ParallelError
-from repro.obs.aggregate import merge_telemetry, telemetry_snapshot
+from repro.obs.aggregate import (
+    SNAPSHOT_VERSION,
+    merge_telemetry,
+    telemetry_snapshot,
+)
 from repro.parallel.shm import (
     AttachedArrays,
     SharedArrayStore,
@@ -65,6 +70,10 @@ _STARTUP_TIMEOUT = 60.0
 _RESULT_POLL_SECONDS = 0.2
 # Seconds to wait at shutdown for the workers' telemetry snapshots.
 _TELEMETRY_TIMEOUT = 10.0
+# Seconds between periodic worker telemetry snapshots (0 ships after
+# every task — used by deterministic tests). Periodic snapshots are
+# cumulative, so the owner keeps only the latest per worker.
+_DEFAULT_TELEMETRY_INTERVAL = 2.0
 
 _ENV_START_METHOD = "REPRO_PARALLEL_START_METHOD"
 
@@ -115,9 +124,12 @@ class WorkerSpec:
     # unrelated processes attaching from outside need True.
     unregister_tracker: bool = False
     # Captured from obs.enabled when the pool starts: workers run a
-    # process-local obs scope around chunk execution and ship a
-    # telemetry snapshot back over the result queue at shutdown.
+    # process-local obs scope around chunk execution and ship telemetry
+    # snapshots back over the result queue — periodic (metrics only,
+    # every telemetry_interval seconds while work flows) and one final
+    # full snapshot (metrics + trace, marked ``final``) at shutdown.
     observe: bool = False
+    telemetry_interval: float = _DEFAULT_TELEMETRY_INTERVAL
 
 
 ModelFactory = Callable[[WorkerSpec], object]
@@ -334,8 +346,42 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
         obs.reset()
         obs.enable()
     results.put(("ready", worker_id, -1, None, 0.0))
+    # Periodic shipping state. Snapshots are cumulative, so losing one
+    # is harmless (the next covers it) and the owner replaces rather
+    # than accumulates. ``dirty`` bounds queue growth: an idle worker
+    # ships at most one trailing snapshot, then stays quiet until it
+    # records something new.
+    ship_interval = max(0.0, float(spec.telemetry_interval))
+    last_ship = time.monotonic()
+    dirty = False
+
+    def _ship_periodic(force: bool = False) -> None:
+        nonlocal last_ship, dirty
+        if not dirty:
+            return
+        now = time.monotonic()
+        if force or now - last_ship >= ship_interval:
+            # Metrics only: trace forests grow with the run and belong
+            # in the single final snapshot, not on a periodic cadence.
+            payload = {
+                "version": SNAPSHOT_VERSION,
+                "metrics": obs.metrics.snapshot(),
+            }
+            results.put(("telemetry", worker_id, -1, payload, 0.0))
+            last_ship = now
+            dirty = False
+
     while True:
-        task = tasks.get()
+        if spec.observe:
+            try:
+                task = tasks.get(
+                    timeout=max(ship_interval, _RESULT_POLL_SECONDS)
+                )
+            except _queue.Empty:
+                _ship_periodic(force=True)
+                continue
+        else:
+            task = tasks.get()
         if task is None:
             break
         task_id, kind, payload = task
@@ -347,6 +393,7 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
         except BaseException:
             if observing:
                 obs.metrics.counter("parallel.pool.chunk_errors").inc()
+                dirty = True
             results.put(
                 ("error", worker_id, task_id, traceback.format_exc(), 0.0)
             )
@@ -357,10 +404,15 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
                 obs.metrics.histogram("parallel.pool.chunk_seconds").observe(
                     elapsed
                 )
+                dirty = True
             results.put(("ok", worker_id, task_id, outcome, elapsed))
+        if spec.observe:
+            _ship_periodic()
     if spec.observe:
         obs.disable()
-        results.put(("telemetry", worker_id, -1, telemetry_snapshot(), 0.0))
+        snapshot = telemetry_snapshot()
+        snapshot["final"] = True
+        results.put(("telemetry", worker_id, -1, snapshot, 0.0))
 
 
 # ----------------------------------------------------------------------
@@ -392,6 +444,7 @@ class AnnotatorPool:
         model=None,
         start_method: str | None = None,
         max_retries: int = 1,
+        telemetry_interval: float | None = None,
     ) -> None:
         if annotator is None and model is None:
             raise ParallelError("AnnotatorPool needs an annotator or a model")
@@ -399,6 +452,11 @@ class AnnotatorPool:
 
         self.workers = max(int(workers), 0)
         self.max_retries = max_retries
+        self.telemetry_interval = (
+            _DEFAULT_TELEMETRY_INTERVAL
+            if telemetry_interval is None
+            else max(0.0, float(telemetry_interval))
+        )
         self._annotator = annotator
         self._model = model if model is not None else annotator.model
         self.batch_size = annotator.batch_size if annotator is not None else 64
@@ -411,6 +469,13 @@ class AnnotatorPool:
         self._task_queues: list = []
         self._results = None
         self._closed = False
+        # Live telemetry: latest cumulative snapshot per worker, plus
+        # the exporter/sampler registration tokens held while open.
+        self._live: dict[int, dict] = {}
+        self._live_lock = threading.Lock()
+        self._live_token: int | None = None
+        self._pids_token: int | None = None
+        self._health_registry = None
         self.serial = True
         if self.workers > 1 and shared_memory_available():
             try:
@@ -431,17 +496,35 @@ class AnnotatorPool:
     # -- construction ---------------------------------------------------
     @classmethod
     def from_annotator(
-        cls, annotator, workers: int, start_method: str | None = None
+        cls,
+        annotator,
+        workers: int,
+        start_method: str | None = None,
+        telemetry_interval: float | None = None,
     ) -> "AnnotatorPool":
         """Pool sharing the payloads of an existing serial annotator."""
-        return cls(workers, annotator=annotator, start_method=start_method)
+        return cls(
+            workers,
+            annotator=annotator,
+            start_method=start_method,
+            telemetry_interval=telemetry_interval,
+        )
 
     @classmethod
     def from_model(
-        cls, model, workers: int, start_method: str | None = None
+        cls,
+        model,
+        workers: int,
+        start_method: str | None = None,
+        telemetry_interval: float | None = None,
     ) -> "AnnotatorPool":
         """Predict-only pool (no mention detection / candidate map)."""
-        return cls(workers, model=model, start_method=start_method)
+        return cls(
+            workers,
+            model=model,
+            start_method=start_method,
+            telemetry_interval=telemetry_interval,
+        )
 
     def _build_spec(self) -> WorkerSpec:
         model = self._model
@@ -462,6 +545,7 @@ class AnnotatorPool:
         self._store = SharedArrayStore.export(arrays, store_meta=store_meta)
         spec = _spec_from_model(model, self._store.manifest, self._compute)
         spec.observe = obs.enabled
+        spec.telemetry_interval = self.telemetry_interval
         annotator = self._annotator
         if annotator is not None:
             spec.candidate_map = annotator.candidate_map
@@ -483,6 +567,7 @@ class AnnotatorPool:
         for worker_id in range(self.workers):
             self._spawn_worker(worker_id)
         self._await_ready(range(self.workers))
+        self._register_live()
 
     def _spawn_worker(self, worker_id: int) -> None:
         while len(self._task_queues) <= worker_id:
@@ -525,8 +610,10 @@ class AnnotatorPool:
                 raise ParallelError(f"worker {worker_id} failed to start:\n{payload}")
             if status == "ready":
                 pending.discard(worker_id)
-            # Stray "telemetry" payloads (a respawn racing a close) are
-            # dropped here; only _teardown merges them.
+            elif status == "telemetry":
+                # A periodic snapshot racing the handshake (fast worker,
+                # telemetry_interval=0); keep it live, merge at close.
+                self._record_live_telemetry(worker_id, payload)
 
     # -- dispatch -------------------------------------------------------
     def _execute(self, tasks: list[_Task]) -> list:
@@ -563,6 +650,7 @@ class AnnotatorPool:
                     continue
                 results[task_id] = payload
                 outstanding -= 1
+                self._beat()
                 if observing:
                     obs.metrics.histogram("parallel.pool.chunk_seconds").observe(
                         elapsed
@@ -580,7 +668,9 @@ class AnnotatorPool:
                 if observing:
                     obs.metrics.counter("parallel.pool.task_failures").inc()
             elif status == "telemetry":
-                # Shutdown-only message; nothing to do mid-dispatch.
+                # Periodic cumulative snapshot; replaces (never adds to)
+                # the worker's previous one so live scrapes stay exact.
+                self._record_live_telemetry(worker_id, payload)
                 continue
             elif status == "init_error":
                 # A respawned worker failed to reinitialize; everything
@@ -666,6 +756,83 @@ class AnnotatorPool:
                 if obs.enabled:
                     obs.metrics.counter("parallel.pool.retries").inc()
         return abandoned
+
+    # -- live telemetry plane -------------------------------------------
+    def _register_live(self) -> None:
+        """Plug this pool into the exporter/sampler module registries.
+
+        Only while observing — a non-observed pool ships no telemetry,
+        so registering would only pull in ``http.server`` for nothing.
+        Lazy imports keep the exporter out of plain pool usage.
+        """
+        if self._spec is None or not self._spec.observe:
+            return
+        from repro.obs import exporter, sampler
+
+        self._live_token = exporter.register_live_source(self.live_telemetry)
+        self._pids_token = sampler.register_pids_provider(self.worker_pids)
+        exporter.health.register("pool", self.health)
+        self._health_registry = exporter.health
+        self._health_registry.beat("pool")
+
+    def _unregister_live(self) -> None:
+        if self._health_registry is None:
+            return
+        from repro.obs import exporter, sampler
+
+        if self._live_token is not None:
+            exporter.unregister_live_source(self._live_token)
+            self._live_token = None
+        if self._pids_token is not None:
+            sampler.unregister_pids_provider(self._pids_token)
+            self._pids_token = None
+        self._health_registry.unregister("pool", self.health)
+        self._health_registry = None
+
+    def _record_live_telemetry(self, worker_id: int, payload: dict) -> None:
+        with self._live_lock:
+            self._live[worker_id] = payload
+        self._beat()
+
+    def _beat(self) -> None:
+        if self._health_registry is not None:
+            self._health_registry.beat("pool")
+
+    def live_telemetry(self) -> list[tuple[dict, dict]]:
+        """Latest cumulative metrics snapshot per worker, for scrapes.
+
+        The exporter merges these into a throwaway registry under the
+        returned labels on every ``/metrics`` request — snapshots are
+        cumulative, so they are never merged into the owner registry
+        until the final flush at :meth:`close`.
+        """
+        with self._live_lock:
+            items = sorted(self._live.items())
+        return [
+            ({"worker": worker_id}, payload.get("metrics", {}))
+            for worker_id, payload in items
+        ]
+
+    def worker_pids(self) -> list[int]:
+        """Pids of currently live workers (for the resource sampler)."""
+        return [
+            process.pid
+            for process in self._procs
+            if process is not None and process.is_alive()
+        ]
+
+    def health(self) -> dict:
+        """Readiness probe for /healthz: every worker process alive."""
+        if self.serial:
+            return {"ok": not self._closed, "serial": True, "workers": 0}
+        expected = sum(1 for p in self._procs if p is not None)
+        alive = len(self.worker_pids())
+        return {
+            "ok": not self._closed and expected > 0 and alive == expected,
+            "serial": False,
+            "workers": expected,
+            "workers_alive": alive,
+        }
 
     # -- public API -----------------------------------------------------
     def annotate_batch(
@@ -768,6 +935,10 @@ class AnnotatorPool:
         self._teardown()
 
     def _teardown(self) -> None:
+        # Unhook live sources first: after this point worker snapshots
+        # merge into the owner registry, and a scrape that still saw the
+        # live source would double count them.
+        self._unregister_live()
         for worker_id, process in enumerate(self._procs):
             if process is None:
                 continue
@@ -799,14 +970,17 @@ class AnnotatorPool:
     def _collect_worker_telemetry(self) -> None:
         """Drain the workers' shutdown telemetry and merge it owner-side.
 
-        Workers flush one ``("telemetry", rank, ...)`` message right
-        after the shutdown sentinel; each snapshot is merged into the
-        global registry/tracer with a ``worker=<rank>`` label so
-        per-worker chunk histograms stay distinguishable and worker
-        spans (with their real pids) land on the owner's timeline. A
-        worker that crashed before flushing simply never reports — the
-        drain gives up once every expected worker is dead and the queue
-        has stayed empty for a grace period.
+        Workers flush one ``final``-marked ``("telemetry", rank, ...)``
+        message right after the shutdown sentinel; each snapshot is
+        merged into the global registry/tracer with a ``worker=<rank>``
+        label so per-worker chunk histograms stay distinguishable and
+        worker spans (with their real pids) land on the owner's
+        timeline. A worker that crashed before flushing is *not* lost
+        anymore: snapshots are cumulative, so its most recent periodic
+        snapshot (kept in ``self._live``) stands in for the final one —
+        only the tail of work since its last ship window is missing.
+        The drain gives up once every expected worker is dead and the
+        queue has stayed empty for a grace period.
         """
         if (
             self._spec is None
@@ -819,7 +993,14 @@ class AnnotatorPool:
             for worker_id, process in enumerate(self._procs)
             if process is not None
         }
-        snapshots: dict[int, dict] = {}
+        # Seed with each worker's last periodic snapshot — the fallback
+        # for workers that die before their final flush.
+        with self._live_lock:
+            snapshots: dict[int, dict] = {
+                worker_id: payload
+                for worker_id, payload in self._live.items()
+                if worker_id in expected
+            }
         deadline = time.monotonic() + _TELEMETRY_TIMEOUT
         drained_grace: float | None = None
         while expected and time.monotonic() < deadline:
@@ -845,8 +1026,11 @@ class AnnotatorPool:
                 continue
             drained_grace = None
             if status == "telemetry" and worker_id in expected:
-                expected.discard(worker_id)
+                # Cumulative: any later snapshot supersedes the seeded
+                # periodic one; only the final flush retires the worker.
                 snapshots[worker_id] = payload
+                if payload.get("final"):
+                    expected.discard(worker_id)
             # Late "ok"/"error"/"ready" stragglers are dropped: the pool
             # is closing and their dispatch call has already returned.
         if obs.enabled:
@@ -891,16 +1075,24 @@ def _snapshot_batch(batch):
     )
 
 
-def predict_batches(model, batches: Iterable, workers: int = 1) -> list:
+def predict_batches(
+    model,
+    batches: Iterable,
+    workers: int = 1,
+    telemetry_interval: float | None = None,
+) -> list:
     """Parallel drop-in for :func:`repro.core.trainer.predict_batches`.
 
     With ``workers <= 1`` (or no usable pool) this is exactly the serial
     function; otherwise batches are sharded across a transient pool and
-    the records are returned in serial order.
+    the records are returned in serial order. ``telemetry_interval``
+    sets the workers' periodic snapshot cadence (for live scrapes).
     """
     if workers <= 1 or not shared_memory_available():
         from repro.core.trainer import predict_batches as serial_predict
 
         return serial_predict(model, batches)
-    with AnnotatorPool.from_model(model, workers=workers) as pool:
+    with AnnotatorPool.from_model(
+        model, workers=workers, telemetry_interval=telemetry_interval
+    ) as pool:
         return pool.predict_batches(batches)

@@ -15,4 +15,4 @@ def emit(bucket, labels):
         obs.metrics.gauge("eval.slice_f1", slice=bucket).set(1.0)
         obs.metrics.gauge("eval.slice_f1", slice="head").set(1.0)
         # Clean: reservoir_size is a real parameter, not a label.
-        obs.metrics.histogram("infer.seconds", reservoir_size=64).observe(0.1)
+        obs.metrics.histogram("infer.batch_seconds", reservoir_size=64).observe(0.1)

@@ -1,0 +1,19 @@
+"""Lint fixture: RA404 metric-naming (guarded, static, key-safe)."""
+
+import repro.obs as obs
+
+
+def emit(elapsed, resident):
+    if obs.enabled:
+        # Duration histogram without the `_seconds` suffix.
+        obs.metrics.histogram("infer.batch_latency").observe(elapsed)
+        # Duration histogram in the wrong unit/suffix.
+        obs.metrics.histogram("pool.chunk_ms").observe(elapsed * 1e3)
+        # Byte gauge recorded in MiB.
+        obs.metrics.gauge("store.resident_mb").set(resident / 2**20)
+        # Clean: unit-suffixed duration and byte names.
+        obs.metrics.histogram("infer.batch_seconds").observe(elapsed)
+        obs.metrics.gauge("store.resident_bytes").set(resident)
+        # Clean: unitless instruments are out of scope.
+        obs.metrics.gauge("pool.queue_depth").set(3)
+        obs.metrics.counter("infer.batches").inc()

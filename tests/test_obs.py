@@ -2,8 +2,10 @@
 
 Covers the metrics registry, span tracing/export, the trainer and
 annotator instrumentation, the per-module forward profiler, the CLI
-telemetry flags, the logging reconfiguration fix, and a guard asserting
-the disabled-path overhead on a forward pass stays under 5%.
+telemetry flags, the logging reconfiguration fix, and guards asserting
+the disabled-path overhead (forward pass, store row gather) stays under
+5% and that the live telemetry plane stays off the import path until
+explicitly requested.
 """
 
 import importlib.util
@@ -740,6 +742,82 @@ class TestDisabledOverhead:
         assert ratio < 1.05, (
             f"disabled-path overhead {ratio:.3f}x exceeds the 5% budget"
         )
+
+    def test_store_gather_overhead_under_5_percent(self):
+        """store.gather() with obs disabled vs. the bare backend gather.
+
+        The only instrumentation on the hot row-gather path is the
+        ``obs.enabled`` branch in ``EntityPayloadStore.gather``; the
+        measured delta against ``_gather_static`` must stay inside the
+        same 5% budget as the forward pass.
+        """
+        from repro.store import DensePayloadStore
+
+        rng = np.random.default_rng(0)
+        store = DensePayloadStore(
+            rng.standard_normal((5000, 256)).astype(np.float32)
+        )
+        ids = rng.integers(0, 5000, size=512)
+
+        def time_gathers(fn, repeats=5, loops=50):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(loops):
+                    fn(ids)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        assert obs.enabled is False
+        store.gather(ids)  # warm the allocator on both paths
+        for attempt in range(3):
+            guarded = time_gathers(store.gather)
+            bare = time_gathers(store._gather_static)
+            ratio = guarded / bare
+            if ratio < 1.05:
+                break
+        assert ratio < 1.05, (
+            f"disabled-path gather overhead {ratio:.3f}x exceeds the 5% budget"
+        )
+
+    def test_live_plane_stays_off_the_import_path(self):
+        """``import repro.obs`` must not pull in the live-plane modules.
+
+        The exporter drags in ``http.server``; the lazy ``__getattr__``
+        exists precisely so the ``obs.enabled`` fast path never pays for
+        it. A fresh interpreter proves the property globally.
+        """
+        import subprocess
+
+        probe = (
+            "import sys; import repro.obs; "
+            "banned = ['repro.obs.exporter', 'repro.obs.sampler', "
+            "'repro.obs.flight', 'http.server']; "
+            "loaded = [m for m in banned if m in sys.modules]; "
+            "assert not loaded, loaded"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_sampler_and_flight_are_inert_until_started(self):
+        import threading
+
+        from repro.obs import FlightRecorder, ResourceSampler
+
+        before = threading.active_count()
+        sampler = ResourceSampler(interval=0.01)
+        recorder = FlightRecorder()
+        assert threading.active_count() == before
+        assert sampler._thread is None
+        assert recorder._tracer is None
+        assert obs.enabled is False
 
 
 # ----------------------------------------------------------------------
