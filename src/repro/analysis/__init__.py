@@ -5,6 +5,10 @@ invariants (see ``docs/ANALYSIS.md``):
 
 - :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — AST
   rules over source files (``repro lint <paths>``).
+- :mod:`repro.analysis.project` / :mod:`repro.analysis.flow` /
+  :mod:`repro.analysis.layers` — the whole-program pass: import
+  layering, resource-lifecycle dataflow, fork/thread-safety
+  (``repro lint --project``).
 - :mod:`repro.analysis.model_lint` — instantiates registered models and
   verifies the live object graph (``repro lint --models``).
 """
@@ -14,8 +18,18 @@ from repro.analysis.findings import (
     SEVERITY_WARNING,
     Finding,
     findings_to_json,
+    findings_to_sarif,
 )
-from repro.analysis.linter import has_errors, lint_file, lint_paths, lint_source
+from repro.analysis.flow import flow_lint_source
+from repro.analysis.linter import (
+    changed_python_files,
+    has_errors,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    suppressed_rules,
+)
 from repro.analysis.model_lint import (
     check_dtype_consistency,
     check_grad_flow,
@@ -27,6 +41,7 @@ from repro.analysis.model_lint import (
     verify_registered_models,
     walk_parameter_leaves,
 )
+from repro.analysis.project import PROJECT_RULES, analyze_project
 from repro.analysis.rules import RULES, all_rule_ids
 
 __all__ = [
@@ -34,9 +49,16 @@ __all__ = [
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "findings_to_json",
+    "findings_to_sarif",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "iter_python_files",
+    "changed_python_files",
+    "suppressed_rules",
+    "analyze_project",
+    "flow_lint_source",
+    "PROJECT_RULES",
     "has_errors",
     "RULES",
     "all_rule_ids",

@@ -25,7 +25,10 @@ opt-outs would defeat the point of the linter.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import subprocess
+import tokenize
 from pathlib import Path
 
 from repro.analysis.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
@@ -61,15 +64,28 @@ def _classify(path: Path) -> dict[str, bool]:
     }
 
 
-def _suppressed_rules(source: str) -> dict[int, frozenset[str] | None]:
-    """Map line number -> suppressed rule ids (None = all rules)."""
+def suppressed_rules(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (None = all rules).
+
+    Scans actual COMMENT tokens via :mod:`tokenize`, so a
+    ``# repro-lint: disable=...`` *inside a string literal* (docs, test
+    fixtures, generated messages) does not silently suppress findings
+    on its line the way a per-line regex would.
+    """
     suppressions: dict[int, frozenset[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        ids = frozenset(_RULE_ID_RE.findall(match.group("ids")))
-        suppressions[lineno] = ids or None
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = frozenset(_RULE_ID_RE.findall(match.group("ids")))
+            suppressions[token.start[0]] = ids or None
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source only ever yields RA000, which is not
+        # suppressible anyway.
+        return suppressions
     return suppressions
 
 
@@ -93,7 +109,7 @@ def lint_source(source: str, path: str, **flags: bool) -> list[Finding]:
     for rule in RULES:
         findings.extend(rule.check(ctx))
 
-    suppressions = _suppressed_rules(source)
+    suppressions = suppressed_rules(source)
     kept = []
     for finding in findings:
         ids = suppressions.get(finding.line, frozenset())
@@ -110,28 +126,80 @@ def lint_file(path: Path) -> list[Finding]:
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Every ``*.py`` under ``paths``, skipping ``__pycache__`` and
+    deduplicating symlink aliases (a linked file is linted once, under
+    whichever spelling sorts first)."""
     files: list[Path] = []
+    seen: set[Path] = set()
     for entry in paths:
         entry = Path(entry)
         if entry.is_dir():
-            files.extend(
-                p
-                for p in sorted(entry.rglob("*.py"))
-                if "__pycache__" not in p.parts
-            )
+            candidates = sorted(entry.rglob("*.py"))
         elif entry.suffix == ".py":
-            files.append(entry)
+            candidates = [entry]
+        else:
+            continue
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            try:
+                real = path.resolve()
+            except OSError:  # pragma: no cover - broken symlink
+                continue
+            if real in seen or not real.is_file():
+                continue
+            seen.add(real)
+            files.append(path)
     return files
 
 
-def lint_paths(paths: list[str | Path], warn_only: bool = False) -> list[Finding]:
+def changed_python_files(paths: list[str | Path]) -> list[Path] | None:
+    """Files under ``paths`` with uncommitted changes (staged, unstaged
+    or untracked), for ``repro lint --changed-only``.
+
+    Returns ``None`` when git is unavailable or we are outside a work
+    tree — the caller falls back to the full walk.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed: set[Path] = set()
+    for line in result.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:]
+        if " -> " in name:  # rename: lint the new spelling
+            name = name.split(" -> ", 1)[1]
+        name = name.strip().strip('"')
+        if name.endswith(".py"):
+            changed.add(Path(name).resolve())
+    scoped = iter_python_files(paths)
+    return [p for p in scoped if p.resolve() in changed]
+
+
+def lint_paths(
+    paths: list[str | Path],
+    warn_only: bool = False,
+    changed_only: bool = False,
+) -> list[Finding]:
     """Lint every ``*.py`` under ``paths``; directories recurse.
 
     ``warn_only`` downgrades every finding to a warning, for trees that
-    are advisory in CI (benchmarks, examples).
+    are advisory in CI (benchmarks, examples). ``changed_only``
+    restricts the walk to files git reports as modified, falling back
+    to the full walk outside a work tree.
     """
+    files = changed_python_files(paths) if changed_only else None
+    if files is None:
+        files = iter_python_files(paths)
     findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
+    for file_path in files:
         findings.extend(lint_file(file_path))
     if warn_only:
         findings = [

@@ -313,7 +313,7 @@ def _build_ned_base():
 def _ensure_default_registry() -> None:
     if _REGISTRY:
         return
-    from repro.cli import MODEL_PRESETS
+    from repro.core.model import MODEL_PRESETS
 
     for preset, overrides in MODEL_PRESETS.items():
         register_model(preset, _build_bootleg(dict(overrides)))

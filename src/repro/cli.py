@@ -26,7 +26,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core.annotator import BootlegAnnotator
-from repro.core.model import BootlegConfig, BootlegModel
+from repro.core.model import MODEL_PRESETS, BootlegConfig, BootlegModel
 from repro.core.trainer import TrainConfig, Trainer, predict
 from repro.corpus.dataset import NedDataset, build_vocabulary
 from repro.corpus.generator import CorpusConfig, generate_corpus
@@ -43,27 +43,6 @@ from repro.nn.serialize import load_module, save_module
 from repro.utils.logging import enable_console_logging, parse_level
 from repro.utils.tables import format_table
 from repro.weaklabel.pipeline import weak_label_corpus
-
-MODEL_PRESETS = {
-    "bootleg": {},
-    "ent-only": {
-        "use_types": False,
-        "use_relations": False,
-        "num_kg_modules": 0,
-        "use_type_prediction": False,
-    },
-    "type-only": {
-        "use_entity": False,
-        "use_relations": False,
-        "num_kg_modules": 0,
-    },
-    "kg-only": {
-        "use_entity": False,
-        "use_types": False,
-        "use_type_prediction": False,
-    },
-}
-
 
 def _vocab_from_tokens(tokens: list[str]) -> Vocabulary:
     vocab = Vocabulary.build([tokens])
@@ -203,10 +182,14 @@ def _configure_store(model, args: argparse.Namespace, entity_counts) -> None:
         from repro.obs import sampler as sampler_mod
 
         exporter.health.register("store", store.health)
-        _LIVE["store_health"] = store.health
-        _LIVE["store_gauge"] = sampler_mod.register_gauge_source(
-            "store.resident_bytes", store.resident_bytes
-        )
+        try:
+            _LIVE["store_health"] = store.health
+            _LIVE["store_gauge"] = sampler_mod.register_gauge_source(
+                "store.resident_bytes", store.resident_bytes
+            )
+        except BaseException:
+            exporter.health.unregister("store", store.health)
+            raise
 
 
 # Live telemetry plane state for the duration of one CLI command:
@@ -247,19 +230,30 @@ def _setup_telemetry(args: argparse.Namespace) -> None:
         from repro.obs.exporter import TelemetryServer
         from repro.obs.sampler import ResourceSampler
 
-        server = TelemetryServer(port=args.serve_metrics).start()
-        _LIVE["server"] = server
-        _LIVE["sampler"] = ResourceSampler(
-            interval=args.sample_interval
-        ).start()
+        try:
+            server = TelemetryServer(port=args.serve_metrics).start()
+            _LIVE["server"] = server
+            _LIVE["sampler"] = ResourceSampler(
+                interval=args.sample_interval
+            ).start()
+        except BaseException:
+            # E.g. the sampler rejecting --sample-interval 0 must not
+            # strand the already-started HTTP server (and its thread)
+            # for the rest of the process.
+            _teardown_live()
+            raise
         print(f"telemetry endpoint at {server.url}/metrics", file=sys.stderr)
     if args.flight_dir:
         from repro.obs.flight import FlightRecorder
 
-        recorder = FlightRecorder(dump_dir=args.flight_dir).attach()
-        recorder.install_signal_handler()
-        recorder.install_crash_handler()
-        _LIVE["flight"] = recorder
+        try:
+            recorder = FlightRecorder(dump_dir=args.flight_dir).attach()
+            _LIVE["flight"] = recorder
+            recorder.install_signal_handler()
+            recorder.install_crash_handler()
+        except BaseException:
+            _teardown_live()
+            raise
 
 
 def _teardown_live() -> None:
@@ -537,13 +531,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
     (always 0 with ``--warn-only``). See docs/ANALYSIS.md for the rule
     catalogue and the suppression syntax.
     """
+    from pathlib import Path
+
     from repro.analysis import (
+        PROJECT_RULES,
         RULES,
+        analyze_project,
         findings_to_json,
+        findings_to_sarif,
         has_errors,
         lint_paths,
         verify_registered_models,
     )
+    from repro.analysis.findings import SEVERITY_WARNING
     from repro.analysis.rules import DERIVED_RULE_IDS
 
     if args.list_rules:
@@ -551,12 +551,38 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.rule_id} {rule.name}: {rule.summary}")
         for rule_id, summary in sorted(DERIVED_RULE_IDS.items()):
             print(f"{rule_id} {summary}")
+        for rule_id, name, summary in PROJECT_RULES:
+            print(f"{rule_id} {name}: {summary}")
         return 0
-    findings = lint_paths(args.paths, warn_only=args.warn_only)
+    findings = lint_paths(
+        args.paths, warn_only=args.warn_only, changed_only=args.changed_only
+    )
+    if args.project:
+        # The whole-program pass needs a package root, so it runs over
+        # each *directory* argument (and always over the full tree —
+        # --changed-only cannot scope a whole-program analysis).
+        reference_roots = [
+            p for p in ("tests", "benchmarks", "examples") if Path(p).is_dir()
+        ]
+        for path in args.paths:
+            if not Path(path).is_dir():
+                continue
+            project_findings = analyze_project(
+                path, reference_roots=reference_roots
+            )
+            if args.warn_only:
+                project_findings = [
+                    dataclasses.replace(f, severity=SEVERITY_WARNING)
+                    for f in project_findings
+                ]
+            findings = findings + project_findings
     if args.models:
         findings = findings + verify_registered_models()
-    if args.json:
+    output_format = "json" if args.json else args.format
+    if output_format == "json":
         print(findings_to_json(findings))
+    elif output_format == "sarif":
+        print(findings_to_sarif(findings))
     else:
         for finding in findings:
             print(finding.format())
@@ -728,11 +754,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--json", action="store_true",
-        help="emit findings as a JSON document on stdout",
+        help="emit findings as a JSON document on stdout "
+             "(byte-stable alias for --format json)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif emits a SARIF 2.1.0 log for code "
+             "scanning UIs; default: text)",
     )
     lint_parser.add_argument(
         "--warn-only", action="store_true",
         help="downgrade findings to warnings (exit 0; for benchmarks/examples)",
+    )
+    lint_parser.add_argument(
+        "--project", action="store_true",
+        help="also run the whole-program pass over each directory "
+             "argument: import layering, cycles, dead public symbols, "
+             "resource lifecycles, fork/thread safety (RA6xx/RA7xx/RA8xx)",
+    )
+    lint_parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files git reports as changed (staged, unstaged "
+             "or untracked); full walk outside a git work tree",
     )
     lint_parser.add_argument(
         "--models", action="store_true",
@@ -788,8 +831,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    _setup_telemetry(args)
     try:
+        # Inside the try so a setup failure still runs _export_telemetry's
+        # live-plane teardown (in-process callers would otherwise
+        # accumulate servers/samplers from half-initialized commands).
+        _setup_telemetry(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -101,6 +101,31 @@ class BootlegConfig:
         )
 
 
+# Named ablation presets (Table 2): overrides applied on top of a base
+# BootlegConfig. Lives here (not in the CLI) so library consumers — the
+# model-graph verifier included — can resolve presets without importing
+# the command-line layer.
+MODEL_PRESETS: dict[str, dict] = {
+    "bootleg": {},
+    "ent-only": {
+        "use_types": False,
+        "use_relations": False,
+        "num_kg_modules": 0,
+        "use_type_prediction": False,
+    },
+    "type-only": {
+        "use_entity": False,
+        "use_relations": False,
+        "num_kg_modules": 0,
+    },
+    "kg-only": {
+        "use_entity": False,
+        "use_types": False,
+        "use_type_prediction": False,
+    },
+}
+
+
 @dataclasses.dataclass
 class BootlegOutput:
     """Forward-pass results."""

@@ -16,7 +16,13 @@ from repro.errors import SerializationError
 from repro.kb.aliases import CandidateMap
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.knowledge_graph import KnowledgeGraph
-from repro.kb.schema import EntityRecord, RelationRecord, Triple, TypeRecord
+from repro.kb.schema import (
+    EntityRecord,
+    RelationRecord,
+    Triple,
+    TypeRecord,
+    validate_type_ids,
+)
 from repro.kb.synthetic import World, WorldConfig
 
 FORMAT_VERSION = 1
@@ -118,6 +124,13 @@ def world_from_dict(payload: dict) -> World:
         )
         for r in payload["relations"]
     ]
+    for entity in entities:
+        try:
+            validate_type_ids(entity.type_ids, len(types))
+        except ValueError as error:
+            raise SerializationError(
+                f"entity {entity.entity_id} ({entity.title!r}): {error}"
+            ) from error
     kb = KnowledgeBase(entities, types, relations)
     kg = KnowledgeGraph(
         kb.num_entities,

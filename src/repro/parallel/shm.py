@@ -153,21 +153,29 @@ class SharedArrayStore:
             block = _shared_memory.SharedMemory(create=True, size=total, name=name)
         except OSError as error:
             raise ParallelError(f"could not create shared memory block: {error}") from error
-        for entry in entries:
-            view = np.ndarray(
-                entry.shape, dtype=entry.dtype, buffer=block.buf, offset=entry.offset
+        try:
+            for entry in entries:
+                view = np.ndarray(
+                    entry.shape, dtype=entry.dtype, buffer=block.buf, offset=entry.offset
+                )
+                view[...] = contiguous[entry.key]
+            manifest = ShmManifest(
+                block_name=block.name,
+                total_bytes=total,
+                entries=tuple(entries),
+                store=store_meta,
             )
-            view[...] = contiguous[entry.key]
-        manifest = ShmManifest(
-            block_name=block.name,
-            total_bytes=total,
-            entries=tuple(entries),
-            store=store_meta,
-        )
-        if obs.enabled:
-            obs.metrics.gauge("parallel.shm_bytes").set(float(total))
-            obs.metrics.counter("parallel.shm_exports").inc()
-        return cls(manifest, block)
+            if obs.enabled:
+                obs.metrics.gauge("parallel.shm_bytes").set(float(total))
+                obs.metrics.counter("parallel.shm_exports").inc()
+            return cls(manifest, block)
+        except BaseException:
+            # A failure between create and hand-off would otherwise leak
+            # the segment until process exit (or forever pre-3.8 without
+            # the resource tracker).
+            block.close()
+            block.unlink()
+            raise
 
     def close(self, unlink: bool = True) -> None:
         """Release the owner's mapping; ``unlink`` destroys the segment."""

@@ -99,9 +99,7 @@ class ShardedStoreWriter:
                     f"plane {plane!r} has {info['rows']} rows, "
                     f"static plane has {num_rows}"
                 )
-        for handle in self._handles.values():
-            handle.close()
-        self._handles.clear()
+        self.close()
         manifest = {
             "format": FORMAT,
             "shard_rows": self.shard_rows,
@@ -116,6 +114,22 @@ class ShardedStoreWriter:
         self._finalized = True
         return manifest
 
+    def close(self) -> None:
+        """Close any open plane files; idempotent, safe after an abort.
+
+        Without it, a caller that raises between ``append`` and
+        ``finalize`` leaks one open handle per plane.
+        """
+        while self._handles:
+            _, handle = self._handles.popitem()
+            handle.close()
+
+    def __enter__(self) -> "ShardedStoreWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def write_sharded_store(
     store_dir: str | Path,
@@ -123,19 +137,19 @@ def write_sharded_store(
     shard_rows: int = DEFAULT_SHARD_ROWS,
 ) -> dict:
     """Write in-memory planes to ``store_dir``; returns the manifest."""
-    writer = ShardedStoreWriter(store_dir, shard_rows=shard_rows)
-    order = ["static"] + sorted(k for k in planes if k != "static")
-    for plane in order:
-        if plane not in planes:
-            continue
-        array = planes[plane]
-        # Chunked append keeps peak extra memory at one shard even for
-        # callers handing over huge arrays.
-        for start in range(0, array.shape[0], shard_rows):
-            writer.append(plane, array[start : start + shard_rows])
-        if array.shape[0] == 0:
-            writer.append(plane, array)
-    return writer.finalize()
+    with ShardedStoreWriter(store_dir, shard_rows=shard_rows) as writer:
+        order = ["static"] + sorted(k for k in planes if k != "static")
+        for plane in order:
+            if plane not in planes:
+                continue
+            array = planes[plane]
+            # Chunked append keeps peak extra memory at one shard even for
+            # callers handing over huge arrays.
+            for start in range(0, array.shape[0], shard_rows):
+                writer.append(plane, array[start : start + shard_rows])
+            if array.shape[0] == 0:
+                writer.append(plane, array)
+        return writer.finalize()
 
 
 class _PlaneMaps:

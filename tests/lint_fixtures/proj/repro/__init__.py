@@ -1,0 +1,5 @@
+"""Fixture package tree for the whole-program pass (RA61x/RA80x).
+
+Each module below violates exactly one project rule; the tests run
+``analyze_project`` over this tree and assert the expected findings.
+"""

@@ -1,0 +1,7 @@
+"""RA611 fixture: one half of a top-level import cycle."""
+
+import repro.beta
+
+
+def _ping():
+    return repro.beta.__name__

@@ -1,0 +1,7 @@
+"""RA611 fixture: the other half of the cycle."""
+
+import repro.alpha
+
+
+def _pong():
+    return repro.alpha.__name__

@@ -1,0 +1,5 @@
+"""Fixture composition root (the forbidden RA610 import target)."""
+
+
+def main():
+    return 0

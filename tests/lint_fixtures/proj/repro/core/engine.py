@@ -1,0 +1,7 @@
+"""RA613 fixture: a contract-confined external import outside its home."""
+
+import multiprocessing  # repro-lint: disable=RA601 exercising the contract rule
+
+
+def _fan_out():
+    return multiprocessing.cpu_count()

@@ -1,0 +1,7 @@
+"""RA610 fixture: a library layer importing the composition root."""
+
+import repro.cli
+
+
+def _call_cli():
+    return repro.cli.main()

@@ -1,0 +1,5 @@
+"""RA612 fixture: a public symbol nothing imports or references."""
+
+
+def unused_helper():
+    return 42

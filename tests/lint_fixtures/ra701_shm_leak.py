@@ -1,0 +1,14 @@
+"""RA701 fixture: shared-memory segment leaked on the exception edge."""
+
+from multiprocessing import shared_memory
+
+
+def _fill(block):
+    block.buf[:4] = b"demo"
+
+
+def leak_segment(total):
+    block = shared_memory.SharedMemory(create=True, size=total)
+    _fill(block)  # an exception here leaks the segment
+    block.close()
+    block.unlink()

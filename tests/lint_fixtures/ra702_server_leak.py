@@ -1,0 +1,18 @@
+"""RA702 fixture: telemetry server started with no reachable stop."""
+
+
+class TelemetryServer:
+    def __init__(self, port):
+        self.port = port
+
+    def start(self):
+        return self
+
+    def stop(self):
+        pass
+
+
+def serve(port):
+    server = TelemetryServer(port)
+    server.start()
+    return server.port

@@ -1,0 +1,17 @@
+"""RA703 fixture: resource sampler started and never stopped."""
+
+
+class ResourceSampler:
+    def __init__(self, interval):
+        self.interval = interval
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+
+def sample_forever(interval):
+    sampler = ResourceSampler(interval)
+    sampler.start()

@@ -1,0 +1,6 @@
+"""RA704 fixture: health-probe registration with no paired unregister."""
+
+
+def register_probe(exporter, probe):
+    exporter.health.register("store", probe)
+    return probe

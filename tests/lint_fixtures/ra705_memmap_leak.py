@@ -1,0 +1,14 @@
+"""RA705 fixture: memmap window with no owner and no close/detach."""
+
+import numpy as np
+
+
+def _compute(window):
+    return window.mean(axis=1)
+
+
+def row_means(path, shape):
+    window = np.memmap(path, dtype="<f4", mode="r", shape=shape)
+    means = _compute(window)
+    total = means.sum()
+    return total

@@ -1,0 +1,10 @@
+"""RA706 fixture: bare open() whose close is unreachable on exceptions."""
+
+import json
+
+
+def read_config(path):
+    handle = open(path)
+    payload = json.load(handle)  # a decode error here leaks the handle
+    handle.close()
+    return payload

@@ -1,0 +1,11 @@
+"""RA802 fixture: blocking queue.get() while holding a lock."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def drain(task_queue, results):
+    with _lock:
+        item = task_queue.get()
+        results.append(item)

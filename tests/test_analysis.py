@@ -5,21 +5,28 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.analysis import (
+    analyze_project,
+    changed_python_files,
     check_dtype_consistency,
     check_grad_flow,
     check_registration,
     check_state_dict_round_trip,
     findings_to_json,
+    findings_to_sarif,
+    flow_lint_source,
     has_errors,
+    iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
+    suppressed_rules,
     verify_module,
     walk_parameter_leaves,
 )
@@ -110,9 +117,174 @@ def test_syntax_error_reports_ra000():
     assert [f.rule for f in findings] == ["RA000"]
 
 
+def test_ra000_reports_the_column():
+    findings = lint_source("def broken(:\n", "blob.py")
+    assert findings[0].rule == "RA000"
+    assert findings[0].column > 0
+
+
 def test_repo_tree_is_clean():
     findings = lint_paths([REPO_ROOT / "src" / "repro"])
     assert not has_errors(findings), [f.format() for f in findings]
+
+
+# ----------------------------------------------------------------------
+# Suppression scanning (tokenize-based)
+# ----------------------------------------------------------------------
+def test_suppression_inside_string_literal_does_not_suppress():
+    source = (
+        "import numpy as np\n"
+        'DOC = "# repro-lint: disable=RA201"; x = np.float64(1)\n'
+    )
+    findings = lint_source(source, "blob.py", is_modeling=True)
+    assert [f.rule for f in findings] == ["RA201"]
+
+
+def test_multi_rule_suppression_on_one_line():
+    source = (
+        "import numpy as np\n"
+        "x = np.float64(1)  # repro-lint: disable=RA201 RA301\n"
+    )
+    assert suppressed_rules(source)[2] == frozenset({"RA201", "RA301"})
+    assert lint_source(source, "blob.py", is_modeling=True) == []
+
+
+def test_iter_python_files_skips_pycache_and_dedupes_symlinks(tmp_path):
+    real = tmp_path / "mod.py"
+    real.write_text("x = 1\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "mod.cpython-311.py").write_text("x = 1\n")
+    (tmp_path / "alias.py").symlink_to(real)
+    (tmp_path / "dangling.py").symlink_to(tmp_path / "missing.py")
+    files = iter_python_files([tmp_path])
+    # The symlink sorts first and wins; the real file is the same inode,
+    # the dangling link and the cache are skipped.
+    assert [p.name for p in files] == ["alias.py"]
+
+
+# ----------------------------------------------------------------------
+# Whole-program pass: lifecycle, lock discipline, import contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "filename, rule",
+    [
+        ("ra701_shm_leak.py", "RA701"),
+        ("ra702_server_leak.py", "RA702"),
+        ("ra703_sampler_leak.py", "RA703"),
+        ("ra704_health_leak.py", "RA704"),
+        ("ra705_memmap_leak.py", "RA705"),
+        ("ra706_open_no_with.py", "RA706"),
+        ("ra802_lock_blocking.py", "RA802"),
+    ],
+)
+def test_flow_fixture_fires_exactly_its_rule(filename, rule):
+    path = FIXTURES / filename
+    findings = flow_lint_source(path.read_text(encoding="utf-8"), str(path))
+    assert [f.rule for f in findings] == [rule], [f.format() for f in findings]
+
+
+def test_flow_passes_the_canonical_repair_shapes():
+    source = (
+        "from multiprocessing import shared_memory\n"
+        "\n"
+        "def managed(total):\n"
+        "    block = shared_memory.SharedMemory(create=True, size=total)\n"
+        "    try:\n"
+        "        fill(block)\n"
+        "    finally:\n"
+        "        block.close()\n"
+        "        block.unlink()\n"
+        "\n"
+        "def transferred(total):\n"
+        "    return shared_memory.SharedMemory(create=True, size=total)\n"
+        "\n"
+        "def with_managed(path):\n"
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n"
+    )
+    assert flow_lint_source(source, "blob.py") == []
+
+
+def test_project_fixture_tree_fires_each_contract_rule():
+    findings = analyze_project(FIXTURES / "proj" / "repro")
+    got = {(f.rule, Path(f.path).name) for f in findings}
+    assert got == {
+        ("RA610", "layer.py"),
+        ("RA611", "alpha.py"),
+        ("RA612", "pool.py"),
+        ("RA612", "util.py"),
+        ("RA613", "engine.py"),
+        ("RA801", "pool.py"),
+        ("RA803", "pool.py"),
+    }, sorted(f.format() for f in findings)
+
+
+def test_project_pass_is_clean_and_fast_on_repo_tree():
+    start = time.monotonic()
+    findings = analyze_project(
+        REPO_ROOT / "src" / "repro",
+        reference_roots=[
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ],
+    )
+    elapsed = time.monotonic() - start
+    assert findings == [], [f.format() for f in findings]
+    assert elapsed < 10.0, f"project pass took {elapsed:.1f}s (budget 10s)"
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+def test_sarif_output_shape():
+    findings = lint_file(FIXTURES / "ra201_dtype_literal.py")
+    document = json.loads(findings_to_sarif(findings))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["RA201"]
+    result = run["results"][0]
+    assert result["ruleId"] == "RA201"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == findings[0].line
+    assert region["startColumn"] == findings[0].column + 1
+
+
+# ----------------------------------------------------------------------
+# Changed-only selection
+# ----------------------------------------------------------------------
+def _git(repo, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_only_selects_git_changed_files(tmp_path, monkeypatch):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init")
+    (repo / "clean.py").write_text("x = 1\n")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-m", "seed")
+    (repo / "dirty.py").write_text("y = 2\n")
+    monkeypatch.chdir(repo)
+    changed = changed_python_files([Path(".")])
+    assert changed is not None
+    assert [p.name for p in changed] == ["dirty.py"]
+
+
+def test_changed_only_falls_back_outside_git(tmp_path, monkeypatch):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert changed_python_files([Path(".")]) is None
+    findings = lint_paths([Path(".")], changed_only=True)
+    assert findings == []  # full-walk fallback linted the clean file
 
 
 def test_findings_json_shape():
@@ -215,3 +387,42 @@ def test_cli_exit_zero_on_clean_tree():
 def test_cli_warn_only_exit_zero():
     result = _run_cli(str(FIXTURES / "ra201_dtype_literal.py"), "--warn-only")
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_json_flag_is_byte_identical_to_format_json():
+    fixture = str(FIXTURES / "ra201_dtype_literal.py")
+    legacy = _run_cli(fixture, "--json")
+    explicit = _run_cli(fixture, "--format", "json")
+    assert legacy.stdout == explicit.stdout
+    payload = json.loads(legacy.stdout)
+    assert payload["errors"] == 2
+
+
+def test_cli_sarif_format_exit_and_shape():
+    result = _run_cli(str(FIXTURES / "ra201_dtype_literal.py"), "--format", "sarif")
+    assert result.returncode == 1
+    document = json.loads(result.stdout)
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]
+
+
+def test_cli_project_flag_nonzero_on_fixture_tree():
+    result = _run_cli(
+        "tests/lint_fixtures/proj/repro", "--project", "--format", "json"
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert {"RA610", "RA611", "RA613", "RA801", "RA803"} <= rules
+
+
+def test_cli_project_flag_clean_on_repo_tree():
+    result = _run_cli("src/repro", "--project")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_list_rules_includes_project_rules():
+    result = _run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("RA610", "RA701", "RA706", "RA801", "RA803"):
+        assert rule_id in result.stdout
