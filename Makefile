@@ -1,7 +1,8 @@
 # Convenience targets for the Bootleg reproduction.
 
 .PHONY: install test lint lint-fast check bench bench-core \
-	bench-core-baseline bench-fresh bench-parallel bench-store obs-demo \
+	bench-core-baseline bench-fresh bench-parallel bench-store \
+	bench-cascade bench-cascade-baseline obs-demo \
 	obs-live-demo report-demo examples clean-cache
 
 install:
@@ -43,7 +44,8 @@ check: lint
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_PARALLEL_START_METHOD=spawn PYTHONPATH=src \
 		python -m pytest tests/test_parallel.py tests/test_report.py \
-		tests/test_store.py tests/test_live_obs.py -x -q
+		tests/test_store.py tests/test_live_obs.py \
+		tests/test_cascade.py -x -q
 	$(MAKE) obs-live-demo
 
 test-report:
@@ -100,6 +102,29 @@ bench-store:
 		benchmarks/results/BENCH_store.json \
 		benchmarks/bench_store_baseline.json \
 		--max-regression 0.20
+
+# Tiered-cascade gates (docs/CASCADE.md): (a) >= 2x end-to-end
+# annotation throughput over the full-model path on a head-heavy
+# corpus, (b) escalated-mention outputs byte-identical to a standalone
+# full-model pass over the escalated documents, (c) `repro report diff
+# --fail-on-regression` clean vs the full-model baseline report. Fails
+# on a >20% regression against the committed baseline (the
+# cascade_speedup entry gates in the higher-is-better direction).
+bench-cascade:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src python benchmarks/bench_cascade.py \
+		--out benchmarks/results/BENCH_cascade.json
+	python benchmarks/compare_to_baseline.py \
+		benchmarks/results/BENCH_cascade.json \
+		benchmarks/bench_cascade_baseline.json \
+		--max-regression 0.20
+
+# Explicitly refresh the committed cascade baseline (run on the
+# reference box after an intentional perf change, then commit the JSON).
+bench-cascade-baseline:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src python benchmarks/bench_cascade.py \
+		--out benchmarks/bench_cascade_baseline.json
 
 # Emit a sample telemetry bundle (metrics JSON + Chrome trace) from the
 # quickstart example into benchmarks/results/; load the trace in

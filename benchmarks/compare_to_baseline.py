@@ -6,10 +6,15 @@ Usage::
         [--max-regression 0.20]
 
 Benchmarks are matched by name; for each common benchmark the mean
-runtime ratio (current / baseline) is printed, and the script exits
-non-zero if any benchmark regressed by more than ``--max-regression``
-(default 20%). Benchmarks present in only one file are reported but
-never fail the run, so adding or retiring benches doesn't break CI.
+ratio (current / baseline) is printed, and the script exits non-zero if
+any benchmark regressed by more than ``--max-regression`` (default
+20%). Benchmarks present in only one file are reported but never fail
+the run, so adding or retiring benches doesn't break CI.
+
+An entry may carry ``"higher_is_better": true`` (the BENCH_cascade.json
+schema uses this for its speedup ratio); such entries regress when the
+ratio *drops* below ``1 / (1 + max_regression)`` instead, and are
+printed as bare ratios rather than milliseconds.
 
 This replaces pointing ``--benchmark-json`` at the baseline file itself,
 which silently rewrote the baseline on every routine run.
@@ -27,6 +32,15 @@ def load_means(path: Path) -> dict[str, float]:
     data = json.loads(path.read_text())
     return {
         bench["name"]: bench["stats"]["mean"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def load_directions(path: Path) -> dict[str, bool]:
+    """name -> higher_is_better (absent means lower-is-better timing)."""
+    data = json.loads(path.read_text())
+    return {
+        bench["name"]: bool(bench.get("higher_is_better", False))
         for bench in data.get("benchmarks", [])
     }
 
@@ -74,19 +88,32 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name}: not in baseline (skipped)")
         return 0
 
+    directions = load_directions(args.current)
     failures = []
     width = max(len(name) for name in common)
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
     for name in common:
         ratio = current[name] / baseline[name]
+        higher_is_better = directions.get(name, False)
+        regressed = (
+            ratio < 1.0 / (1.0 + args.max_regression)
+            if higher_is_better
+            else ratio > 1.0 + args.max_regression
+        )
         flag = ""
-        if ratio > 1.0 + args.max_regression:
+        if regressed:
             failures.append((name, ratio))
             flag = "  REGRESSION"
-        print(
-            f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  "
-            f"{current[name] * 1e3:>8.2f}ms  {ratio:5.2f}x{flag}"
-        )
+        if higher_is_better:
+            print(
+                f"{name:<{width}}  {baseline[name]:>9.2f}x  "
+                f"{current[name]:>9.2f}x  {ratio:5.2f}x{flag}"
+            )
+        else:
+            print(
+                f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  "
+                f"{current[name] * 1e3:>8.2f}ms  {ratio:5.2f}x{flag}"
+            )
     for name in sorted(set(current) - set(baseline)):
         print(f"{name}: not in baseline (skipped)")
     for name in sorted(set(baseline) - set(current)):

@@ -55,7 +55,8 @@ class ForbiddenEdge:
 #   errors, utils                      (leaf helpers)
 #   nn                                 (autograd + modules)
 #   kb, corpus, text, store            (data + payload planes)
-#   core, baselines, eval, weaklabel   (models, training, scoring)
+#   core, baselines, eval, weaklabel,  (models, training, scoring;
+#   cascade                             tiered inference over kb+eval)
 #   downstream, obs, analysis          (consumers + tooling)
 #   parallel                           (process fan-out over core)
 #   cli                                (composition root)
@@ -66,7 +67,7 @@ FORBIDDEN_EDGES: tuple[ForbiddenEdge, ...] = (
             "repro.text", "repro.eval", "repro.store", "repro.baselines",
             "repro.downstream", "repro.weaklabel", "repro.obs",
             "repro.parallel", "repro.analysis", "repro.utils",
-            "repro.errors",
+            "repro.errors", "repro.cascade",
         ),
         targets=("repro.cli", "repro.__main__"),
         reason="the CLI is the composition root; importing it from a "
@@ -78,18 +79,19 @@ FORBIDDEN_EDGES: tuple[ForbiddenEdge, ...] = (
             "repro.nn", "repro.kb", "repro.corpus", "repro.text",
             "repro.eval", "repro.store", "repro.baselines",
             "repro.downstream", "repro.weaklabel", "repro.obs",
-            "repro.utils", "repro.errors",
+            "repro.utils", "repro.errors", "repro.cascade",
         ),
         targets=("repro.parallel",),
         reason="process fan-out sits above the model/data layers; only "
-        "repro.core (deferred prefetch wiring) and the CLI may drive it",
+        "repro.core (deferred prefetch wiring) and the CLI may drive it "
+        "— the cascade takes a predict_fn callable instead",
     ),
     ForbiddenEdge(
         importers=(
             "repro.nn", "repro.core", "repro.kb", "repro.corpus",
             "repro.text", "repro.eval", "repro.store", "repro.baselines",
             "repro.downstream", "repro.weaklabel", "repro.utils",
-            "repro.errors",
+            "repro.errors", "repro.cascade",
         ),
         targets=("repro.obs.exporter", "repro.obs.sampler", "repro.obs.flight"),
         reason="the live telemetry plane owns threads, sockets and "

@@ -7,9 +7,11 @@ modeling rules (RA201/RA301) only apply under ``nn``/``core``/``text``/
 ``baselines``/``downstream``, the obs-guard rules skip ``repro/obs``
 (the instrumentation itself), ``nn/tensor.py`` — which *defines* the
 dtype policy — is exempt from RA201, ``repro/parallel`` — the one
-blessed fork-safety path — is exempt from RA601, and ``repro/store`` —
-the entity payload store layer — is exempt from RA602. Files outside
-the package (lint fixtures, benchmarks, examples) get every rule.
+blessed fork-safety path — is exempt from RA601, ``repro/store`` —
+the entity payload store layer — is exempt from RA602, and
+``repro/cascade`` — which owns the confidence policy — is exempt from
+RA603. Files outside the package (lint fixtures, benchmarks, examples)
+get every rule.
 
 Suppression
 -----------
@@ -52,6 +54,7 @@ def _classify(path: Path) -> dict[str, bool]:
             "defines_dtype_policy": False,
             "is_parallel_package": False,
             "is_store_package": False,
+            "is_cascade_package": False,
         }
     index = len(parts) - 1 - parts[::-1].index("repro")
     subpackage = parts[index + 1] if index + 1 < len(parts) - 1 else ""
@@ -61,6 +64,7 @@ def _classify(path: Path) -> dict[str, bool]:
         "defines_dtype_policy": subpackage == "nn" and path.name == "tensor.py",
         "is_parallel_package": subpackage == "parallel",
         "is_store_package": subpackage == "store",
+        "is_cascade_package": subpackage == "cascade",
     }
 
 

@@ -78,13 +78,23 @@ class MentionDetector:
         return True
 
     def detect(self, tokens: Sequence[str]) -> list[DetectedMention]:
-        """Greedy longest-match scan, left to right, non-overlapping."""
+        """Greedy longest-match scan, left to right, non-overlapping.
+
+        The window never exceeds the map's longest alias: no wider span
+        can match, so probing it only burns candidate lookups. Read per
+        call (cached in the flat index) so aliases added after
+        construction still widen the window.
+        """
         detections: list[DetectedMention] = []
         position = 0
         n = len(tokens)
+        known_longest = self.candidate_map.max_alias_tokens()
+        max_span = (
+            min(self.max_span, known_longest) if known_longest else self.max_span
+        )
         while position < n:
             match: DetectedMention | None = None
-            for length in range(min(self.max_span, n - position), 0, -1):
+            for length in range(min(max_span, n - position), 0, -1):
                 surface = " ".join(tokens[position : position + length])
                 if self._is_known(surface):
                     match = DetectedMention(position, position + length, surface)

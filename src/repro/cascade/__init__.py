@@ -1,0 +1,24 @@
+"""Tiered heuristic→model inference cascade (docs/CASCADE.md).
+
+Head mentions are overwhelmingly resolvable by alias popularity alone;
+the model earns its cost on the tail. This package answers
+high-confidence mentions from the candidate map's prior in microseconds
+(:class:`Tier0Linker`), abstains by a configurable
+:class:`CascadePolicy`, and escalates only the rest into full model
+batches (:func:`cascade_predict`; ``BootlegAnnotator`` consumes the
+same linker for the annotation path).
+"""
+
+from repro.cascade.policy import TIER_HEURISTIC, TIER_MODEL, CascadePolicy
+from repro.cascade.predict import cascade_predict
+from repro.cascade.tier0 import Tier0Decision, Tier0Linker, record_cascade_metrics
+
+__all__ = [
+    "TIER_HEURISTIC",
+    "TIER_MODEL",
+    "CascadePolicy",
+    "Tier0Decision",
+    "Tier0Linker",
+    "cascade_predict",
+    "record_cascade_metrics",
+]

@@ -1,0 +1,159 @@
+"""Confidence-gated escalation for dataset evaluation.
+
+:func:`cascade_predict` is the evaluate-path twin of the annotator's
+cascade: run the tier-0 linker over every mention of an encoded
+dataset, answer the confident ones from the popularity prior, and batch
+**only the sentences that still contain an abstained mention** into the
+full model. The escalated sentences ride through
+:meth:`~repro.corpus.dataset.NedDataset.collate` in dataset order with
+shared collation buffers — the exact batch compositions a full-model
+pass over those sentences would build, so escalated outputs are
+byte-identical to running the model alone on them (the determinism
+contract of docs/CASCADE.md).
+
+Sentence-level escalation is deliberate: collective disambiguation
+(the KG adjacency features) reads *cross-mention* context, so an
+abstained mention's model answer depends on its sibling mentions being
+present in the batch. Confident siblings therefore ride along as
+context, but their tier-0 answers stand — the model's opinion is used
+only for the mentions that escalated.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cascade.policy import TIER_HEURISTIC, CascadePolicy
+from repro.cascade.tier0 import Tier0Decision, Tier0Linker, record_cascade_metrics
+from repro.corpus.dataset import CANDIDATE_PAD, CollateBuffers
+from repro.eval.predictions import MentionPrediction
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def _tier0_record(
+    item, mention_index: int, surface: str, decision: Tier0Decision, k: int
+) -> MentionPrediction:
+    """A prediction record answered from the prior, shaped like the
+    model's: (K,) candidate arrays padded with ``CANDIDATE_PAD``."""
+    candidate_ids = np.full(k, CANDIDATE_PAD, dtype=np.int64)
+    candidate_scores = np.zeros(k, dtype=np.float64)
+    n = decision.candidate_ids.shape[0]
+    candidate_ids[:n] = decision.candidate_ids
+    candidate_scores[:n] = decision.candidate_scores
+    return MentionPrediction(
+        sentence_id=item.sentence.sentence_id,
+        mention_index=mention_index,
+        surface=surface,
+        gold_entity_id=int(item.gold_entity_ids[mention_index]),
+        predicted_entity_id=decision.entity_id,
+        candidate_ids=candidate_ids,
+        candidate_scores=candidate_scores,
+        evaluable=bool(item.evaluable[mention_index]),
+        is_weak=bool(item.is_weak[mention_index]),
+        pattern=item.sentence.pattern,
+        tier=TIER_HEURISTIC,
+    )
+
+
+def _encoded_mentions(item) -> list:
+    """The mention list backing an encoded sentence's arrays.
+
+    Mirrors ``NedDataset._encode``: mentions past the token truncation
+    point carry no arrays, so they are excluded here too.
+    """
+    return [m for m in item.sentence.mentions if m.end <= item.num_tokens]
+
+
+def cascade_predict(
+    model,
+    dataset,
+    policy: CascadePolicy,
+    kb: KnowledgeBase | None = None,
+    batch_size: int = 64,
+    buffers: CollateBuffers | None = None,
+    predict_fn: Callable | None = None,
+    linker: Tier0Linker | None = None,
+) -> list[MentionPrediction]:
+    """Tiered inference over a dataset; one record per mention.
+
+    Record order matches :func:`repro.core.trainer.predict` (dataset
+    order, mention-index order within a sentence); each record carries
+    ``tier`` attribution. ``predict_fn(model, batches)`` runs the
+    escalated batches — pass :func:`repro.parallel.predict_batches`
+    bound to a worker count to shard them across a pool; the default is
+    the serial :func:`repro.core.trainer.predict_batches`.
+    """
+    if predict_fn is None:
+        # Deferred import: repro.core.annotator imports this package,
+        # so a module-level import back into repro.core would cycle.
+        from repro.core.trainer import predict_batches
+
+        predict_fn = predict_batches
+    if linker is None:
+        linker = Tier0Linker(
+            dataset.candidate_map,
+            policy,
+            kb=kb,
+            num_candidates=dataset.num_candidates,
+        )
+    started = time.perf_counter()
+    mentions_per_item = [_encoded_mentions(item) for item in dataset.encoded]
+    decisions_per_item = [
+        [linker.resolve(mention.surface) for mention in mentions]
+        for mentions in mentions_per_item
+    ]
+    num_mentions = sum(len(mentions) for mentions in mentions_per_item)
+    num_escalated = sum(
+        1
+        for decisions in decisions_per_item
+        for decision in decisions
+        if not decision.answered
+    )
+    record_cascade_metrics(
+        num_mentions - num_escalated,
+        num_escalated,
+        time.perf_counter() - started,
+    )
+
+    escalated_positions = [
+        index
+        for index, decisions in enumerate(decisions_per_item)
+        if any(not decision.answered for decision in decisions)
+    ]
+    model_records: dict[tuple[int, int], MentionPrediction] = {}
+    if escalated_positions:
+        escalated_items = [dataset.encoded[i] for i in escalated_positions]
+        buffers = buffers if buffers is not None else CollateBuffers()
+        batches = (
+            dataset.collate(escalated_items[start : start + batch_size], buffers)
+            for start in range(0, len(escalated_items), batch_size)
+        )
+        for record in predict_fn(model, batches):
+            model_records[(record.sentence_id, record.mention_index)] = record
+
+    results: list[MentionPrediction] = []
+    k = dataset.num_candidates
+    for item, mentions, decisions in zip(
+        dataset.encoded, mentions_per_item, decisions_per_item
+    ):
+        for mention_index, (mention, decision) in enumerate(
+            zip(mentions, decisions)
+        ):
+            if decision.answered:
+                results.append(
+                    _tier0_record(
+                        item, mention_index, mention.surface, decision, k
+                    )
+                )
+            else:
+                # Present whenever the sentence escalated; the model
+                # emits a record for every real mention it saw.
+                results.append(
+                    model_records[
+                        (item.sentence.sentence_id, mention_index)
+                    ]
+                )
+    return results

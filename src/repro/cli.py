@@ -25,6 +25,7 @@ import time
 import numpy as np
 
 import repro.obs as obs
+from repro.cascade import CascadePolicy, cascade_predict
 from repro.core.annotator import BootlegAnnotator
 from repro.core.model import MODEL_PRESETS, BootlegConfig, BootlegModel
 from repro.core.trainer import TrainConfig, Trainer, predict
@@ -94,6 +95,42 @@ def _telemetry_parser() -> argparse.ArgumentParser:
              "and dump a JSON bundle to DIR on SIGUSR2 or a crash",
     )
     return parent
+
+
+def _cascade_parser() -> argparse.ArgumentParser:
+    """Parent parser carrying the tiered-cascade flags."""
+    defaults = CascadePolicy()
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("cascade")
+    group.add_argument(
+        "--cascade", action="store_true",
+        help="answer high-confidence mentions from the alias prior and "
+             "escalate only the rest to the model (docs/CASCADE.md)",
+    )
+    group.add_argument(
+        "--cascade-margin", type=float, default=defaults.margin,
+        metavar="M",
+        help="minimum top-vs-runner-up normalized prior gap for a tier-0 "
+             f"answer (default {defaults.margin})",
+    )
+    group.add_argument(
+        "--cascade-prior-mass", type=float, default=defaults.prior_mass,
+        metavar="P",
+        help="minimum normalized prior mass on the top candidate for a "
+             f"tier-0 answer (default {defaults.prior_mass})",
+    )
+    return parent
+
+
+def _cascade_policy(args: argparse.Namespace) -> CascadePolicy | None:
+    """The CascadePolicy requested on the command line, or None."""
+    if not getattr(args, "cascade", False):
+        return None
+    policy = CascadePolicy(
+        margin=args.cascade_margin, prior_mass=args.cascade_prior_mass
+    )
+    policy.validate()
+    return policy
 
 
 def _store_parser() -> argparse.ArgumentParser:
@@ -429,8 +466,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         corpus, args.split, vocab, world.candidate_map,
         config.num_candidates, kgs=[world.kg],
     )
+    policy = _cascade_policy(args)
     started = time.perf_counter()
-    if args.workers > 1:
+    if policy is not None:
+        predict_fn = None
+        if args.workers > 1:
+            # The cascade owns batching (it packs only escalated
+            # sentences); the pool only runs whatever batches it gets.
+            from repro.parallel import predict_batches as parallel_predict
+
+            def predict_fn(pool_model, batches):
+                return parallel_predict(
+                    pool_model,
+                    batches,
+                    workers=args.workers,
+                    telemetry_interval=_pool_interval(args),
+                )
+
+        records = cascade_predict(
+            model,
+            dataset,
+            policy,
+            kb=world.kb,
+            batch_size=args.batch_size,
+            predict_fn=predict_fn,
+        )
+    elif args.workers > 1:
         from repro.parallel import predict_batches as parallel_predict
 
         records = parallel_predict(
@@ -442,6 +503,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         records = predict(model, dataset)
     wall_seconds = time.perf_counter() - started
+    if policy is not None:
+        answered = sum(1 for r in records if getattr(r, "tier", "model") != "model")
+        print(
+            f"cascade: {answered}/{len(records)} mentions answered at "
+            f"tier 0, {len(records) - answered} escalated",
+            file=sys.stderr,
+        )
     buckets = f1_by_bucket(records, counts)
     sizes = mentions_by_bucket(records, counts)
     rows = [
@@ -472,6 +540,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 "split": args.split,
                 "workers": args.workers,
                 "model_config": dataclasses.asdict(config),
+                "cascade": (
+                    dataclasses.asdict(policy) if policy is not None else None
+                ),
             },
             wall_seconds=wall_seconds,
         )
@@ -500,6 +571,7 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     annotator = BootlegAnnotator(
         model, vocab, world.candidate_map, world.kb,
         kgs=[world.kg], num_candidates=config.num_candidates,
+        cascade=_cascade_policy(args),
     )
     if args.workers > 1:
         from repro.parallel import AnnotatorPool
@@ -517,9 +589,10 @@ def cmd_annotate(args: argparse.Namespace) -> int:
         candidates = ", ".join(
             f"{title} ({score:.2f})" for title, score in annotation.candidates[:4]
         )
+        tier = f"  [{annotation.tier}]" if getattr(args, "cascade", False) else ""
         print(
             f"[{annotation.start}:{annotation.end}] {annotation.surface!r} "
-            f"-> {annotation.entity_title}  |  {candidates}"
+            f"-> {annotation.entity_title}  |  {candidates}{tier}"
         )
     return 0
 
@@ -606,11 +679,25 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"seed:   {'-' if report.seed is None else report.seed}")
         print(f"wall:   {report.wall_seconds:.1f}s")
         if report.slices:
-            rows = [
-                [s.name, s.f1, f"[{s.low:.1f}, {s.high:.1f}]", s.num_mentions]
-                for s in report.ordered_slices()
-            ]
-            print(format_table(["slice", "F1", "95% CI", "n"], rows))
+            # Reports from cascade runs carry per-tier record counts;
+            # older reports have empty tier maps and skip the column.
+            with_tiers = any(s.tiers for s in report.ordered_slices())
+            rows = []
+            for s in report.ordered_slices():
+                row = [s.name, s.f1, f"[{s.low:.1f}, {s.high:.1f}]", s.num_mentions]
+                if with_tiers:
+                    row.append(
+                        " ".join(
+                            f"{tier}={count}"
+                            for tier, count in sorted(s.tiers.items())
+                        )
+                        or "-"
+                    )
+                rows.append(row)
+            headers = ["slice", "F1", "95% CI", "n"]
+            if with_tiers:
+                headers.append("tiers")
+            print(format_table(headers, rows))
         return 0
     if args.report_command == "html":
         report = RunReport.load(args.report)
@@ -660,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     telemetry = _telemetry_parser()
     store = _store_parser()
+    cascade = _cascade_parser()
 
     world_parser = sub.add_parser(
         "generate-world", help="create a synthetic world", parents=[telemetry]
@@ -703,7 +791,9 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.set_defaults(func=cmd_train)
 
     eval_parser = sub.add_parser(
-        "evaluate", help="evaluate a saved model", parents=[telemetry, store]
+        "evaluate",
+        help="evaluate a saved model",
+        parents=[telemetry, store, cascade],
     )
     eval_parser.add_argument("--world", required=True)
     eval_parser.add_argument("--corpus", required=True)
@@ -731,7 +821,9 @@ def build_parser() -> argparse.ArgumentParser:
     eval_parser.set_defaults(func=cmd_evaluate)
 
     annotate_parser = sub.add_parser(
-        "annotate", help="disambiguate free text", parents=[telemetry, store]
+        "annotate",
+        help="disambiguate free text",
+        parents=[telemetry, store, cascade],
     )
     annotate_parser.add_argument("--world", required=True)
     annotate_parser.add_argument("--model", required=True)

@@ -14,11 +14,20 @@ bucket per token instead of string-joining every span), a batched
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
 import repro.obs as obs
+from repro.cascade import (
+    TIER_HEURISTIC,
+    TIER_MODEL,
+    CascadePolicy,
+    Tier0Decision,
+    Tier0Linker,
+    record_cascade_metrics,
+)
 from repro.core.trainer import predict_batches
 from repro.corpus.dataset import CollateBuffers, NedDataset
 from repro.corpus.document import Corpus, Mention, Page, Sentence
@@ -41,6 +50,8 @@ class AnnotatedMention:
     entity_title: str
     score: float
     candidates: list[tuple[str, float]]  # (title, score), best first
+    # Which cascade tier answered ("model" without a cascade policy).
+    tier: str = TIER_MODEL
 
 
 class BootlegAnnotator:
@@ -56,6 +67,7 @@ class BootlegAnnotator:
         num_candidates: int = 6,
         max_alias_tokens: int = 3,
         batch_size: int = 32,
+        cascade: CascadePolicy | None = None,
     ) -> None:
         self.model = model
         self.vocab = vocab
@@ -65,6 +77,14 @@ class BootlegAnnotator:
         self.num_candidates = num_candidates
         self.max_alias_tokens = max_alias_tokens
         self.batch_size = batch_size
+        self.cascade = cascade
+        self._tier0 = (
+            Tier0Linker(
+                candidate_map, cascade, kb=kb, num_candidates=num_candidates
+            )
+            if cascade is not None
+            else None
+        )
         self._collate_buffers = CollateBuffers()
         self._alias_index = self._build_alias_index()
 
@@ -90,6 +110,14 @@ class BootlegAnnotator:
     def refresh_alias_index(self) -> None:
         """Rebuild the detection index after the candidate map changed."""
         self._alias_index = self._build_alias_index()
+        if self.cascade is not None:
+            # The tier-0 decision cache snapshots the candidate map too.
+            self._tier0 = Tier0Linker(
+                self.candidate_map,
+                self.cascade,
+                kb=self.kb,
+                num_candidates=self.num_candidates,
+            )
 
     def detect_mentions(self, tokens: list[str]) -> list[tuple[int, int]]:
         """Greedy longest-match detection of known aliases (left to right)."""
@@ -150,8 +178,9 @@ class BootlegAnnotator:
         texts: Sequence[str],
         mention_spans: Sequence[list[tuple[int, int]] | None] | None,
     ) -> list[list[AnnotatedMention]]:
-        pages: list[Page] = []
+        tokens_per_doc: list[list[str]] = []
         spans_per_doc: list[list[tuple[int, int]]] = []
+        mentions_per_doc: list[list[Mention]] = []
         for doc_index, text in enumerate(texts):
             tokens = tokenize(text)
             if not tokens:
@@ -167,9 +196,9 @@ class BootlegAnnotator:
                 # Gold is unknown at inference; use a placeholder id of 0 —
                 # the dataset only uses it for supervision flags we ignore.
                 mentions.append(Mention(start, end, surface, 0))
+            tokens_per_doc.append(tokens)
             spans_per_doc.append(list(spans))
-            sentence = Sentence(doc_index, doc_index, tokens, mentions)
-            pages.append(Page(doc_index, 0, "test", [sentence]))
+            mentions_per_doc.append(mentions)
         observing = obs.enabled
         num_detected = sum(len(spans) for spans in spans_per_doc)
         if observing:
@@ -178,6 +207,63 @@ class BootlegAnnotator:
         results: list[list[AnnotatedMention]] = [[] for _ in texts]
         if not any(spans_per_doc):
             return results
+        if self._tier0 is None:
+            covered = self._annotate_full(
+                list(range(len(texts))),
+                tokens_per_doc,
+                mentions_per_doc,
+                spans_per_doc,
+                results,
+            )
+        else:
+            covered = self._annotate_cascade(
+                tokens_per_doc, mentions_per_doc, spans_per_doc, results
+            )
+        if observing:
+            # Candidate coverage: fraction of detected mentions for which
+            # the candidate map yielded at least one candidate entity.
+            obs.metrics.counter("annotator.mentions_covered").inc(covered)
+            if num_detected:
+                obs.metrics.gauge("annotator.candidate_coverage").set(
+                    covered / num_detected
+                )
+            obs.metrics.counter("annotator.mentions_annotated").inc(
+                sum(len(annotations) for annotations in results)
+            )
+        return results
+
+    def _model_records(
+        self,
+        doc_indices: Sequence[int],
+        tokens_per_doc: Sequence[list[str]],
+        mentions_per_doc: Sequence[list[Mention]],
+    ) -> list:
+        """Run the full model over the selected documents.
+
+        Documents are packed in the given order with the annotator's
+        batch size and shared collation buffers, so running the same
+        document list through this method always builds the same batch
+        compositions — the byte-identity contract the cascade's
+        escalation path relies on (docs/CASCADE.md). Returned records
+        carry ``sentence_id`` equal to the *position* in
+        ``doc_indices``.
+        """
+        pages = [
+            Page(
+                position,
+                0,
+                "test",
+                [
+                    Sentence(
+                        position,
+                        position,
+                        tokens_per_doc[doc],
+                        mentions_per_doc[doc],
+                    )
+                ],
+            )
+            for position, doc in enumerate(doc_indices)
+        ]
         dataset = NedDataset(
             Corpus(pages),
             "test",
@@ -187,48 +273,143 @@ class BootlegAnnotator:
             kgs=self.kgs,
         )
         if len(dataset) == 0:
-            return results
-        records = predict_batches(
+            return []
+        return predict_batches(
             self.model,
             dataset.batches(self.batch_size, buffers=self._collate_buffers),
         )
-        if observing:
-            # Candidate coverage: fraction of detected mentions for which
-            # the candidate map yielded at least one candidate entity.
-            covered = sum(
-                1 for r in records if int((r.candidate_ids >= 0).sum()) > 0
+
+    def _mention_from_record(self, record, span: tuple[int, int]) -> AnnotatedMention:
+        order = np.argsort(-record.candidate_scores)
+        ranked = [
+            (
+                self.kb.entity(int(record.candidate_ids[i])).title,
+                float(record.candidate_scores[i]),
             )
-            obs.metrics.counter("annotator.mentions_covered").inc(covered)
-            if num_detected:
-                obs.metrics.gauge("annotator.candidate_coverage").set(
-                    covered / num_detected
-                )
+            for i in order
+            if record.candidate_ids[i] >= 0
+        ]
+        return AnnotatedMention(
+            start=span[0],
+            end=span[1],
+            surface=record.surface,
+            entity_id=record.predicted_entity_id,
+            entity_title=self.kb.entity(record.predicted_entity_id).title,
+            score=float(record.candidate_scores.max()),
+            candidates=ranked,
+            tier=TIER_MODEL,
+        )
+
+    def _mention_from_decision(
+        self, decision: Tier0Decision, span: tuple[int, int], surface: str
+    ) -> AnnotatedMention:
+        ranked = [
+            (self.kb.entity(int(entity_id)).title, float(score))
+            for entity_id, score in zip(
+                decision.candidate_ids, decision.candidate_scores
+            )
+        ]
+        return AnnotatedMention(
+            start=span[0],
+            end=span[1],
+            surface=surface,
+            entity_id=decision.entity_id,
+            entity_title=self.kb.entity(decision.entity_id).title,
+            score=decision.confidence,
+            candidates=ranked,
+            tier=TIER_HEURISTIC,
+        )
+
+    def _annotate_full(
+        self,
+        doc_indices: list[int],
+        tokens_per_doc: Sequence[list[str]],
+        mentions_per_doc: Sequence[list[Mention]],
+        spans_per_doc: Sequence[list[tuple[int, int]]],
+        results: list[list[AnnotatedMention]],
+    ) -> int:
+        """Full-model path over every document; returns covered count."""
+        records = self._model_records(
+            doc_indices, tokens_per_doc, mentions_per_doc
+        )
+        covered = sum(
+            1 for r in records if int((r.candidate_ids >= 0).sum()) > 0
+        )
         for record in records:
             if record.predicted_entity_id < 0:
                 continue
-            order = np.argsort(-record.candidate_scores)
-            ranked = [
-                (
-                    self.kb.entity(int(record.candidate_ids[i])).title,
-                    float(record.candidate_scores[i]),
+            doc = doc_indices[record.sentence_id]
+            span = spans_per_doc[doc][record.mention_index]
+            results[doc].append(self._mention_from_record(record, span))
+        return covered
+
+    def _annotate_cascade(
+        self,
+        tokens_per_doc: Sequence[list[str]],
+        mentions_per_doc: Sequence[list[Mention]],
+        spans_per_doc: Sequence[list[tuple[int, int]]],
+        results: list[list[AnnotatedMention]],
+    ) -> int:
+        """Tier-0 pass + escalated-documents model pass.
+
+        A document escalates when any of its mentions abstains; its
+        confident mentions ride along as model context (collective
+        disambiguation reads cross-mention candidates) but keep their
+        tier-0 answers. Returns the covered-mention count.
+        """
+        started = time.perf_counter()
+        decisions_per_doc = [
+            [self._tier0.resolve(m.surface) for m in mentions]
+            for mentions in mentions_per_doc
+        ]
+        num_mentions = sum(len(d) for d in decisions_per_doc)
+        num_escalated = sum(
+            1
+            for decisions in decisions_per_doc
+            for decision in decisions
+            if not decision.answered
+        )
+        record_cascade_metrics(
+            num_mentions - num_escalated,
+            num_escalated,
+            time.perf_counter() - started,
+        )
+        escalated_docs = [
+            doc
+            for doc, decisions in enumerate(decisions_per_doc)
+            if any(not decision.answered for decision in decisions)
+        ]
+        position_of = {doc: pos for pos, doc in enumerate(escalated_docs)}
+        records_by_key = {}
+        if escalated_docs:
+            for record in self._model_records(
+                escalated_docs, tokens_per_doc, mentions_per_doc
+            ):
+                records_by_key[(record.sentence_id, record.mention_index)] = (
+                    record
                 )
-                for i in order
-                if record.candidate_ids[i] >= 0
-            ]
-            span = spans_per_doc[record.sentence_id][record.mention_index]
-            results[record.sentence_id].append(
-                AnnotatedMention(
-                    start=span[0],
-                    end=span[1],
-                    surface=record.surface,
-                    entity_id=record.predicted_entity_id,
-                    entity_title=self.kb.entity(record.predicted_entity_id).title,
-                    score=float(record.candidate_scores.max()),
-                    candidates=ranked,
-                )
-            )
-        if observing:
-            obs.metrics.counter("annotator.mentions_annotated").inc(
-                sum(len(annotations) for annotations in results)
-            )
-        return results
+        covered = 0
+        for doc, decisions in enumerate(decisions_per_doc):
+            for index, decision in enumerate(decisions):
+                span = spans_per_doc[doc][index]
+                if decision.answered:
+                    if decision.entity_id >= 0:
+                        covered += 1
+                        results[doc].append(
+                            self._mention_from_decision(
+                                decision,
+                                span,
+                                mentions_per_doc[doc][index].surface,
+                            )
+                        )
+                    continue
+                record = records_by_key.get((position_of[doc], index))
+                if record is None:
+                    continue
+                if int((record.candidate_ids >= 0).sum()) > 0:
+                    covered += 1
+                if record.predicted_entity_id >= 0:
+                    results[doc].append(
+                        self._mention_from_record(record, span)
+                    )
+        return covered

@@ -27,6 +27,9 @@ class MentionPrediction:
     evaluable: bool
     is_weak: bool
     pattern: str = ""
+    # Which cascade tier produced this record ("model" for the full
+    # path, "tier0" for heuristic answers; see repro.cascade).
+    tier: str = "model"
 
     @property
     def correct(self) -> bool:

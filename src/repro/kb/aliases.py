@@ -41,10 +41,15 @@ def _rank_bucket(bucket: dict[int, float]) -> list[tuple[int, float]]:
 class _FlatIndex:
     """Immutable presorted view over a snapshot of the candidate dict."""
 
-    __slots__ = ("aliases", "offsets", "entity_ids", "scores")
+    __slots__ = ("aliases", "offsets", "entity_ids", "scores", "max_alias_tokens")
 
     def __init__(self, candidates: dict[str, dict[int, float]]) -> None:
         self.aliases = sorted(candidates)
+        # Longest alias in whitespace tokens; aliases are normalized so
+        # a space count is exact. Bounds mention-detection span scans.
+        self.max_alias_tokens = max(
+            (alias.count(" ") + 1 for alias in self.aliases), default=0
+        )
         offsets = np.zeros(len(self.aliases) + 1, dtype=np.int64)
         flat_ids: list[int] = []
         flat_scores: list[float] = []
@@ -119,6 +124,14 @@ class CandidateMap:
 
     def aliases(self) -> list[str]:
         return list(self._ensure_index().aliases)
+
+    def max_alias_tokens(self) -> int:
+        """Longest alias in the map, in tokens (0 when empty).
+
+        Lets callers bound longest-match window scans: no span wider
+        than this can ever hit the map.
+        """
+        return self._ensure_index().max_alias_tokens
 
     def candidates(self, alias: str, k: int | None = None) -> list[tuple[int, float]]:
         """Top-``k`` (entity_id, score) candidates, best first.

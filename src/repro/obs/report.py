@@ -67,6 +67,9 @@ class SliceScore:
     high: float
     num_mentions: int
     outcomes: list[list[int]] = dataclasses.field(default_factory=list)
+    # Cascade tier attribution: record count per tier label ("model",
+    # "tier0"). Empty for reports written before the cascade existed.
+    tiers: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -75,6 +78,7 @@ class SliceScore:
             "high": self.high,
             "num_mentions": self.num_mentions,
             "outcomes": [list(row) for row in self.outcomes],
+            "tiers": dict(self.tiers),
         }
 
     @classmethod
@@ -86,6 +90,10 @@ class SliceScore:
             high=float(payload["high"]),
             num_mentions=int(payload["num_mentions"]),
             outcomes=[list(row) for row in payload.get("outcomes", [])],
+            tiers={
+                str(key): int(value)
+                for key, value in payload.get("tiers", {}).items()
+            },
         )
 
 
@@ -119,6 +127,14 @@ def score_slices(
             only_evaluable=False,
             exclude_weak=False,
         )
+        # Tier attribution by string label rather than the repro.cascade
+        # constants: the cascade package imports repro.obs, so importing
+        # back from here would cycle. "model" matches records produced
+        # before tier tracking existed.
+        tiers: dict[str, int] = {}
+        for p in members:
+            label = getattr(p, "tier", "model")
+            tiers[label] = tiers.get(label, 0) + 1
         scores[name] = SliceScore(
             name=name,
             f1=interval.point,
@@ -129,6 +145,7 @@ def score_slices(
                 [p.sentence_id, p.mention_index, int(p.correct)]
                 for p in members
             ],
+            tiers=tiers,
         )
     return scores
 

@@ -116,6 +116,9 @@ class WorkerSpec:
     num_candidates: int = 6
     max_alias_tokens: int = 3
     batch_size: int = 32
+    # CascadePolicy when the source annotator runs the tiered cascade;
+    # plain picklable dataclass, workers rebuild their own Tier0Linker.
+    cascade: object | None = None
     warmup_text: str | None = None
     # multiprocessing children share the parent's resource tracker under
     # every start method (the tracker fd travels in the spawn prep data),
@@ -299,6 +302,7 @@ class _WorkerRuntime:
                 num_candidates=spec.num_candidates,
                 max_alias_tokens=spec.max_alias_tokens,
                 batch_size=spec.batch_size,
+                cascade=spec.cascade,
             )
         self.warmup(spec)
 
@@ -553,6 +557,7 @@ class AnnotatorPool:
             spec.num_candidates = annotator.num_candidates
             spec.max_alias_tokens = annotator.max_alias_tokens
             spec.batch_size = annotator.batch_size
+            spec.cascade = annotator.cascade
         return spec
 
     def _start(self) -> None:

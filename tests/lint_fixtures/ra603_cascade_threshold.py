@@ -1,0 +1,25 @@
+"""Fixture: cascade threshold literals outside repro.cascade fire RA603.
+
+Four findings: a keyword literal, an assignment, a comparison, and a
+function default. ``min_prior_mass`` is a different knob and must NOT
+match (exact-name rule).
+"""
+
+
+def build_policy(policy_cls):
+    return policy_cls(margin=0.4)  # finding 1: keyword literal
+
+
+cascade_prior_mass = 0.8  # finding 2: assignment
+
+
+def is_confident(margin):
+    return margin >= 0.25  # finding 3: comparison
+
+
+def tune(prior_mass=0.7):  # finding 4: parameter default
+    return prior_mass
+
+
+def detector_knob(min_prior_mass=0.5):  # unrelated knob: no finding
+    return min_prior_mass

@@ -70,6 +70,7 @@ def _probe(module):
         ("ra501_cache_invalidation.py", "RA501", 3),
         ("ra601_raw_multiprocessing.py", "RA601", 2),
         ("ra602_raw_memmap.py", "RA602", 2),
+        ("ra603_cascade_threshold.py", "RA603", 4),
     ],
 )
 def test_fixture_fires_exactly_its_rule(filename, rule, count):
@@ -110,6 +111,22 @@ def test_ra602_exempts_the_store_package():
     assert lint_source(source, "blob.py", is_store_package=True) == []
     findings = lint_source(source, "blob.py")
     assert [f.rule for f in findings] == ["RA602", "RA602"]
+
+
+def test_ra603_exempts_the_cascade_package():
+    source = "margin = 0.4\ncascade_prior_mass = 0.8\n"
+    assert lint_source(source, "blob.py", is_cascade_package=True) == []
+    findings = lint_source(source, "blob.py")
+    assert [f.rule for f in findings] == ["RA603", "RA603"]
+
+
+def test_ra603_ignores_non_threshold_names_and_variables():
+    source = (
+        "min_prior_mass = 0.5\n"          # different knob: exact names only
+        "margin = computed()\n"            # non-literal value
+        "policy = Policy(margin=margin)\n"  # variable keyword
+    )
+    assert lint_source(source, "blob.py") == []
 
 
 def test_syntax_error_reports_ra000():
