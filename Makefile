@@ -2,7 +2,7 @@
 
 .PHONY: install test lint lint-fast check bench bench-core \
 	bench-core-baseline bench-fresh bench-parallel bench-store \
-	bench-cascade bench-cascade-baseline obs-demo \
+	bench-cascade bench-cascade-baseline bench-summary obs-demo \
 	obs-live-demo report-demo examples clean-cache
 
 install:
@@ -45,7 +45,7 @@ check: lint
 	REPRO_PARALLEL_START_METHOD=spawn PYTHONPATH=src \
 		python -m pytest tests/test_parallel.py tests/test_report.py \
 		tests/test_store.py tests/test_live_obs.py \
-		tests/test_cascade.py -x -q
+		tests/test_cascade.py tests/test_provenance.py -x -q
 	$(MAKE) obs-live-demo
 
 test-report:
@@ -125,6 +125,13 @@ bench-cascade-baseline:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src python benchmarks/bench_cascade.py \
 		--out benchmarks/bench_cascade_baseline.json
+
+# Consolidate every benchmarks/results/BENCH_*.json written by the
+# suites above into one BENCH_summary.json (suite -> headline means),
+# so dashboards and CI annotations read a single file.
+bench-summary:
+	mkdir -p benchmarks/results
+	python benchmarks/bench_summary.py
 
 # Emit a sample telemetry bundle (metrics JSON + Chrome trace) from the
 # quickstart example into benchmarks/results/; load the trace in

@@ -1,0 +1,101 @@
+"""Consolidate per-suite bench JSONs into one ``BENCH_summary.json``.
+
+Usage::
+
+    python benchmarks/bench_summary.py [--results-dir benchmarks/results] \
+        [--out benchmarks/results/BENCH_summary.json]
+
+Each ``BENCH_*.json`` produced by a bench suite (``make bench-parallel``
+/ ``bench-store`` / ``bench-cascade`` / ``bench-core``) follows the
+pytest-benchmark shape — ``{"benchmarks": [{"name", "stats": {"mean"},
+"higher_is_better"?}]}`` plus a free-form ``"extra"`` block. This script
+flattens the headline numbers of every suite present into a single
+document::
+
+    {
+      "suites": {
+        "cascade": {
+          "source": "BENCH_cascade.json",
+          "metrics": {
+            "annotate_batch_cascade": {"mean": 0.011, "higher_is_better": false},
+            "cascade_speedup":        {"mean": 7.61,  "higher_is_better": true}
+          },
+          "extra": {...}
+        },
+        ...
+      },
+      "num_suites": <int>
+    }
+
+so dashboards and CI annotations read one file instead of globbing.
+Suites that were never run are simply absent — the summary reports what
+exists, it does not fail on gaps (but prints the skipped files so a
+truncated run is visible).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def summarize_file(path: Path) -> dict | None:
+    """Headline metrics of one suite JSON, or None when unreadable."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"skipping {path.name}: {error}", file=sys.stderr)
+        return None
+    metrics = {
+        bench["name"]: {
+            "mean": bench["stats"]["mean"],
+            "higher_is_better": bool(bench.get("higher_is_better", False)),
+        }
+        for bench in data.get("benchmarks", [])
+        if "name" in bench and "mean" in bench.get("stats", {})
+    }
+    if not metrics:
+        print(f"skipping {path.name}: no benchmark entries", file=sys.stderr)
+        return None
+    summary = {"source": path.name, "metrics": metrics}
+    if isinstance(data.get("extra"), dict):
+        summary["extra"] = data["extra"]
+    return summary
+
+
+def build_summary(results_dir: Path) -> dict:
+    suites: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue
+        suite = path.stem[len("BENCH_"):]
+        summarized = summarize_file(path)
+        if summarized is not None:
+            suites[suite] = summarized
+    return {"suites": suites, "num_suites": len(suites)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results-dir", type=Path, default=Path("benchmarks/results"),
+        help="directory holding the per-suite BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default: <results-dir>/BENCH_summary.json)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out or args.results_dir / "BENCH_summary.json"
+    summary = build_summary(args.results_dir)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    names = ", ".join(sorted(summary["suites"])) or "none"
+    print(f"{summary['num_suites']} suite(s) summarized ({names}) -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,15 @@ only held by code review into machine-checked invariants:
     names are checked, so registries that re-key merged snapshots
     through variables are unaffected.
 
+``RA405`` provenance-confinement
+    Per-mention decision records are an audit artifact with one
+    authoritative schema: ``DecisionRecord`` may only be constructed
+    inside ``repro.obs.provenance``, and capture calls
+    (``provenance.record_*``) elsewhere must sit behind an
+    ``obs.enabled`` guard (directly or via a local alias), exactly like
+    RA401 metric emissions — the capture path must be free when
+    observability is off.
+
 ``RA501`` cache-invalidation
     A ``Module`` subclass whose ``__init__`` creates a cache attribute
     (``*cache*``, except ``*_enabled`` flags) must override ``train``,
@@ -975,6 +984,55 @@ def check_cascade_thresholds(ctx: FileContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RA405 — decision provenance confinement
+# ----------------------------------------------------------------------
+def check_provenance_confinement(ctx: FileContext) -> list[Finding]:
+    """RA405 provenance-confinement."""
+    if ctx.is_obs_package:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) == "DecisionRecord":
+            findings.append(
+                ctx.finding(
+                    "RA405",
+                    node,
+                    "DecisionRecord constructed outside repro.obs.provenance; "
+                    "capture through provenance.record_decision/"
+                    "record_prediction so the audit schema has one owner",
+                )
+            )
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not func.attr.startswith(
+            "record_"
+        ):
+            continue
+        owner = func.value
+        owner_attr = (
+            owner.attr if isinstance(owner, ast.Attribute) else (
+                owner.id if isinstance(owner, ast.Name) else None
+            )
+        )
+        if owner_attr != "provenance":
+            continue
+        aliases = _guard_aliases(_enclosing_function(ctx, node))
+        if not _is_guarded(ctx, node, aliases):
+            findings.append(
+                ctx.finding(
+                    "RA405",
+                    node,
+                    f"provenance.{func.attr}(...) is not behind an "
+                    "`obs.enabled` guard; decision capture must be free "
+                    "when observability is off",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
@@ -1021,6 +1079,13 @@ RULES: tuple[Rule, ...] = (
         "metric-naming",
         "duration histograms need `_seconds`, byte gauges `_bytes` suffixes",
         check_metric_naming,
+    ),
+    Rule(
+        "RA405",
+        "provenance-confinement",
+        "DecisionRecord construction and record_* capture stay in "
+        "repro.obs.provenance / behind obs.enabled",
+        check_provenance_confinement,
     ),
     Rule(
         "RA501",

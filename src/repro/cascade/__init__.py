@@ -9,16 +9,40 @@ batches (:func:`cascade_predict`; ``BootlegAnnotator`` consumes the
 same linker for the annotation path).
 """
 
-from repro.cascade.policy import TIER_HEURISTIC, TIER_MODEL, CascadePolicy
+from repro.cascade.policy import (
+    DECISION_REASONS,
+    REASON_CONFIDENT,
+    REASON_MARGIN_TOO_SMALL,
+    REASON_PRIOR_MASS_TOO_SMALL,
+    REASON_TYPE_VETO,
+    REASON_UNKNOWN_ALIAS,
+    REASON_ZERO_PRIOR_MASS,
+    TIER_HEURISTIC,
+    TIER_MODEL,
+    CascadePolicy,
+)
 from repro.cascade.predict import cascade_predict
-from repro.cascade.tier0 import Tier0Decision, Tier0Linker, record_cascade_metrics
+from repro.cascade.tier0 import (
+    Tier0Decision,
+    Tier0Linker,
+    reason_counts,
+    record_cascade_metrics,
+)
 
 __all__ = [
+    "DECISION_REASONS",
+    "REASON_CONFIDENT",
+    "REASON_MARGIN_TOO_SMALL",
+    "REASON_PRIOR_MASS_TOO_SMALL",
+    "REASON_TYPE_VETO",
+    "REASON_UNKNOWN_ALIAS",
+    "REASON_ZERO_PRIOR_MASS",
     "TIER_HEURISTIC",
     "TIER_MODEL",
     "CascadePolicy",
     "Tier0Decision",
     "Tier0Linker",
     "cascade_predict",
+    "reason_counts",
     "record_cascade_metrics",
 ]

@@ -34,6 +34,27 @@ from repro.errors import ConfigError
 TIER_HEURISTIC = "tier0"
 TIER_MODEL = "model"
 
+# Machine-readable decision reasons carried on Tier0Decision, emitted as
+# ``cascade.escalated{reason=…}`` counter labels, and recorded in
+# provenance DecisionRecords (docs/CASCADE.md). Like the tier labels,
+# every value stays inside the metric-key-safe alphabet (RA403).
+REASON_CONFIDENT = "confident"
+REASON_UNKNOWN_ALIAS = "unknown-alias"
+REASON_ZERO_PRIOR_MASS = "zero-prior-mass"
+REASON_MARGIN_TOO_SMALL = "margin-too-small"
+REASON_PRIOR_MASS_TOO_SMALL = "prior-mass-too-small"
+REASON_TYPE_VETO = "type-veto"
+
+#: Every reason a Tier0Decision can carry, answered and escalating alike.
+DECISION_REASONS = (
+    REASON_CONFIDENT,
+    REASON_UNKNOWN_ALIAS,
+    REASON_ZERO_PRIOR_MASS,
+    REASON_MARGIN_TOO_SMALL,
+    REASON_PRIOR_MASS_TOO_SMALL,
+    REASON_TYPE_VETO,
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class CascadePolicy:

@@ -26,11 +26,19 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.cascade.policy import TIER_HEURISTIC, CascadePolicy
-from repro.cascade.tier0 import Tier0Decision, Tier0Linker, record_cascade_metrics
+import repro.obs as obs
+from repro.cascade.policy import REASON_TYPE_VETO, TIER_HEURISTIC, CascadePolicy
+from repro.cascade.tier0 import (
+    Tier0Decision,
+    Tier0Linker,
+    reason_counts,
+    record_cascade_metrics,
+)
 from repro.corpus.dataset import CANDIDATE_PAD, CollateBuffers
 from repro.eval.predictions import MentionPrediction
+from repro.kb.aliases import normalize_alias
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import provenance
 
 
 def _tier0_record(
@@ -112,10 +120,12 @@ def cascade_predict(
         for decision in decisions
         if not decision.answered
     )
+    tier0_elapsed = time.perf_counter() - started
     record_cascade_metrics(
         num_mentions - num_escalated,
         num_escalated,
-        time.perf_counter() - started,
+        tier0_elapsed,
+        reasons=reason_counts(decisions_per_item),
     )
 
     escalated_positions = [
@@ -136,6 +146,8 @@ def cascade_predict(
 
     results: list[MentionPrediction] = []
     k = dataset.num_candidates
+    capturing = obs.enabled and provenance.active
+    tier0_seconds = tier0_elapsed / max(1, num_mentions)
     for item, mentions, decisions in zip(
         dataset.encoded, mentions_per_item, decisions_per_item
     ):
@@ -143,17 +155,72 @@ def cascade_predict(
             zip(mentions, decisions)
         ):
             if decision.answered:
-                results.append(
-                    _tier0_record(
-                        item, mention_index, mention.surface, decision, k
-                    )
+                record = _tier0_record(
+                    item, mention_index, mention.surface, decision, k
                 )
             else:
                 # Present whenever the sentence escalated; the model
                 # emits a record for every real mention it saw.
-                results.append(
-                    model_records[
-                        (item.sentence.sentence_id, mention_index)
-                    ]
+                record = model_records[
+                    (item.sentence.sentence_id, mention_index)
+                ]
+            results.append(record)
+            if capturing:
+                _capture_decision(
+                    record, mention.surface, decision, tier0_seconds
                 )
     return results
+
+
+def _capture_decision(
+    record: MentionPrediction,
+    surface: str,
+    decision: Tier0Decision,
+    tier0_seconds: float,
+) -> None:
+    """Emit the full provenance record for one evaluated mention.
+
+    The prediction record supplies the decisive tier's candidate list;
+    tier-0 priors are re-aligned onto it by candidate id so
+    ``prior_scores`` stays parallel to ``candidate_ids`` even when the
+    dataset encoding orders candidates differently than the linker.
+    """
+    if obs.enabled and provenance.active:
+        prior_by_id = {
+            int(cid): float(score)
+            for cid, score in zip(
+                decision.candidate_ids, decision.candidate_scores
+            )
+        }
+        candidate_ids = [
+            int(cid) for cid in record.candidate_ids if int(cid) != CANDIDATE_PAD
+        ]
+        provenance.record_decision(
+            record.sentence_id,
+            record.mention_index,
+            surface=surface,
+            alias=normalize_alias(surface),
+            tier=record.tier,
+            reason=decision.reason,
+            candidate_ids=candidate_ids,
+            prior_scores=[prior_by_id.get(cid, 0.0) for cid in candidate_ids],
+            model_scores=(
+                None
+                if decision.answered
+                else [
+                    float(s)
+                    for s in record.candidate_scores[: len(candidate_ids)]
+                ]
+            ),
+            predicted_entity_id=int(record.predicted_entity_id),
+            gold_entity_id=int(record.gold_entity_id),
+            # margin/confidence belong to whichever tier decided: the
+            # model-tier capture already stamped them for escalated
+            # mentions (None leaves stored fields untouched).
+            margin=float(decision.margin) if decision.answered else None,
+            confidence=(
+                float(decision.confidence) if decision.answered else None
+            ),
+            type_veto=decision.reason == REASON_TYPE_VETO,
+            seconds=tier0_seconds if decision.answered else None,
+        )

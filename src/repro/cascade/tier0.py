@@ -22,7 +22,17 @@ import dataclasses
 import numpy as np
 
 import repro.obs as obs
-from repro.cascade.policy import TIER_HEURISTIC, TIER_MODEL, CascadePolicy
+from repro.cascade.policy import (
+    REASON_CONFIDENT,
+    REASON_MARGIN_TOO_SMALL,
+    REASON_PRIOR_MASS_TOO_SMALL,
+    REASON_TYPE_VETO,
+    REASON_UNKNOWN_ALIAS,
+    REASON_ZERO_PRIOR_MASS,
+    TIER_HEURISTIC,
+    TIER_MODEL,
+    CascadePolicy,
+)
 from repro.kb.aliases import CandidateMap, normalize_alias
 from repro.kb.knowledge_base import KnowledgeBase
 
@@ -37,6 +47,10 @@ class Tier0Decision:
     candidates buys nothing — the model path yields no prediction for
     it either). ``candidate_ids``/``candidate_scores`` hold the top-K
     candidates with priors normalized over the alias's full bucket.
+    ``reason`` is the machine-readable outcome of the decision sites
+    (one of :data:`repro.cascade.policy.DECISION_REASONS`): why tier 0
+    answered, or why it abstained — indistinguishable downstream before
+    this field existed.
     """
 
     answered: bool
@@ -45,23 +59,52 @@ class Tier0Decision:
     margin: float
     candidate_ids: np.ndarray
     candidate_scores: np.ndarray
+    reason: str = REASON_CONFIDENT
 
     @property
     def tier(self) -> str:
         return TIER_HEURISTIC if self.answered else TIER_MODEL
 
 
-def record_cascade_metrics(answered: int, escalated: int, seconds: float) -> None:
-    """Emit the cascade telemetry triple for one tier-0 pass.
+def reason_counts(decisions) -> dict[str, int]:
+    """Tally decision reasons for ``record_cascade_metrics``.
+
+    Accepts any (nested or flat) iterable of :class:`Tier0Decision`;
+    callers that already hold decisions-per-document pass the nested
+    shape straight through.
+    """
+    counts: dict[str, int] = {}
+    for entry in decisions:
+        for decision in entry if isinstance(entry, (list, tuple)) else (entry,):
+            counts[decision.reason] = counts.get(decision.reason, 0) + 1
+    return counts
+
+
+def record_cascade_metrics(
+    answered: int,
+    escalated: int,
+    seconds: float,
+    reasons: dict[str, int] | None = None,
+) -> None:
+    """Emit the cascade telemetry for one tier-0 pass.
 
     Shared by the annotator and the evaluate path so both report the
     same series: ``cascade.tier0_answered`` / ``cascade.escalated``
-    counters and the ``cascade.tier0_seconds`` histogram.
+    counters and the ``cascade.tier0_seconds`` histogram. ``reasons``
+    (a ``reason -> count`` tally from :func:`reason_counts`) additionally
+    breaks escalations/abstentions down as
+    ``cascade.escalated{reason=…}`` labeled counters; answered reasons
+    (``confident``/``unknown-alias``) are skipped — they already land in
+    the answered total.
     """
     if obs.enabled:
         obs.metrics.counter("cascade.tier0_answered").inc(answered)
         obs.metrics.counter("cascade.escalated").inc(escalated)
         obs.metrics.histogram("cascade.tier0_seconds").observe(seconds)
+        for reason, count in (reasons or {}).items():
+            if reason in (REASON_CONFIDENT, REASON_UNKNOWN_ALIAS):
+                continue
+            obs.metrics.counter("cascade.escalated", reason=reason).inc(count)
 
 
 class Tier0Linker:
@@ -115,6 +158,7 @@ class Tier0Linker:
                 margin=0.0,
                 candidate_ids=empty,
                 candidate_scores=np.zeros(0, dtype=np.float64),
+                reason=REASON_UNKNOWN_ALIAS,
             )
         total = float(scores.sum())
         top_ids = np.array(ids[:k], copy=True)
@@ -127,6 +171,7 @@ class Tier0Linker:
                 margin=0.0,
                 candidate_ids=top_ids,
                 candidate_scores=np.zeros(top_ids.shape[0], dtype=np.float64),
+                reason=REASON_ZERO_PRIOR_MASS,
             )
         normalized = np.asarray(scores, dtype=np.float64) / total
         confidence = float(normalized[0])
@@ -136,6 +181,14 @@ class Tier0Linker:
             margin >= self.policy.margin
             and confidence >= self.policy.prior_mass
         )
+        if not answered:
+            reason = (
+                REASON_MARGIN_TOO_SMALL
+                if margin < self.policy.margin
+                else REASON_PRIOR_MASS_TOO_SMALL
+            )
+        else:
+            reason = REASON_CONFIDENT
         if answered and self._coarse_types is not None and ids.shape[0] > 1:
             # Type veto: the top candidate must belong to the coarse
             # type holding the alias's largest prior mass; a popularity
@@ -145,6 +198,7 @@ class Tier0Linker:
             mass = np.bincount(types, weights=normalized)
             if int(np.argmax(mass)) != int(types[0]):
                 answered = False
+                reason = REASON_TYPE_VETO
         return Tier0Decision(
             answered=answered,
             entity_id=int(ids[0]),
@@ -152,4 +206,5 @@ class Tier0Linker:
             margin=margin,
             candidate_ids=top_ids,
             candidate_scores=np.array(normalized[:k], copy=True),
+            reason=reason,
         )

@@ -8,6 +8,7 @@ Subcommands cover the full lifecycle a downstream user needs:
 - ``repro evaluate``        — bucketed F1 of a saved model on a split
 - ``repro annotate``        — disambiguate free text with a saved model
 - ``repro lint``            — invariant linter + model-graph verifier
+- ``repro explain``         — query per-mention decision provenance
 - ``repro report``          — inspect / diff slice-aware run reports
 
 Models are saved as self-contained checkpoints: the npz carries the
@@ -25,6 +26,7 @@ import time
 import numpy as np
 
 import repro.obs as obs
+from repro.obs import provenance
 from repro.cascade import CascadePolicy, cascade_predict
 from repro.core.annotator import BootlegAnnotator
 from repro.core.model import MODEL_PRESETS, BootlegConfig, BootlegModel
@@ -36,7 +38,7 @@ from repro.corpus.stats import EntityCounts
 from repro.corpus.vocab import SPECIAL_TOKENS, Vocabulary
 from repro.errors import ReproError, StoreError
 from repro.eval.patterns import PatternSlicer, mine_affordance_keywords
-from repro.eval.slices import f1_by_bucket, mentions_by_bucket
+from repro.eval.slices import f1_by_bucket, mentions_by_bucket, slice_by_bucket
 from repro.obs.report import RunReport, diff_reports, regressions
 from repro.kb.io import load_world, save_world
 from repro.kb.synthetic import WorldConfig, generate_world
@@ -93,6 +95,17 @@ def _telemetry_parser() -> argparse.ArgumentParser:
         "--flight-dir", metavar="DIR", default=None,
         help="enable the flight recorder: keep a ring of recent spans "
              "and dump a JSON bundle to DIR on SIGUSR2 or a crash",
+    )
+    group.add_argument(
+        "--provenance-out", metavar="PATH", default=None,
+        help="capture a per-mention decision record for every prediction "
+             "and write them as JSONL (query with `repro explain`)",
+    )
+    group.add_argument(
+        "--provenance-ring", type=int, metavar="N",
+        default=provenance.DEFAULT_CAPACITY,
+        help="decision-record ring capacity before spilling to the "
+             f"--provenance-out file (default {provenance.DEFAULT_CAPACITY})",
     )
     return parent
 
@@ -256,13 +269,20 @@ def _setup_telemetry(args: argparse.Namespace) -> None:
     serving = args.serve_metrics is not None
     if (
         args.metrics_out or args.trace_out or wants_report
-        or serving or args.flight_dir
+        or serving or args.flight_dir or args.provenance_out
     ):
         # Run reports and the live plane bundle/serve the metrics
         # snapshot, so requesting either turns recording on even
         # without --metrics-out.
         obs.reset()
         obs.enable()
+    if args.provenance_out:
+        # The owner process spills overflow straight to the output file;
+        # _export_telemetry appends whatever is still in the ring.
+        provenance.reset()
+        provenance.enable(
+            capacity=args.provenance_ring, spill_path=args.provenance_out
+        )
     if serving:
         from repro.obs.exporter import TelemetryServer
         from repro.obs.sampler import ResourceSampler
@@ -325,9 +345,17 @@ def _export_telemetry(args: argparse.Namespace) -> None:
     if args.trace_out:
         obs.tracer.export_chrome(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if getattr(args, "provenance_out", None):
+        count = provenance.export_jsonl(args.provenance_out)
+        print(
+            f"{count} decision record(s) written to {args.provenance_out}",
+            file=sys.stderr,
+        )
+        provenance.reset()
     if (
         args.metrics_out or args.trace_out
         or args.serve_metrics is not None or args.flight_dir
+        or getattr(args, "provenance_out", None)
     ):
         obs.disable()
 
@@ -510,6 +538,22 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             f"tier 0, {len(records) - answered} escalated",
             file=sys.stderr,
         )
+    if obs.enabled and provenance.active:
+        # Stamp each captured decision record with the popularity bucket
+        # and pattern slices its mention belongs to, so `repro explain
+        # --slice tail` and the report drill-down can filter by slice.
+        membership = {
+            bucket: {(p.sentence_id, p.mention_index) for p in members}
+            for bucket, members in slice_by_bucket(records, counts).items()
+        }
+        slicer = PatternSlicer(
+            world.kb, world.kg, mine_affordance_keywords(corpus, world.kb)
+        )
+        for name, keys in slicer.build_membership(
+            corpus.sentences(args.split)
+        ).items():
+            membership[name] = set(keys)
+        provenance.attach_slices(membership)
     buckets = f1_by_bucket(records, counts)
     sizes = mentions_by_bucket(records, counts)
     rows = [
@@ -737,6 +781,58 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: query per-mention decision provenance.
+
+    Reads the JSONL audit trail written by ``--provenance-out`` and
+    prints every record matching the filters — the full candidate set
+    with prior and model scores, the deciding tier, and the
+    machine-readable escalation reason (docs/OBSERVABILITY.md).
+    """
+    import json
+
+    records = provenance.load_jsonl(args.records)
+    matches = list(
+        provenance.query(
+            records,
+            sentence_id=args.sentence,
+            mention_index=args.mention,
+            entity_id=args.entity,
+            slice_name=args.slice,
+            tier=args.tier,
+            reason=args.reason,
+            surface=args.surface,
+        )
+    )
+    if args.limit is not None:
+        matches = matches[: args.limit]
+    if args.json:
+        print(json.dumps([record.to_dict() for record in matches], indent=2))
+        return 0
+    titles: dict[int, str] | None = None
+    if args.world:
+        world = load_world(args.world)
+        titles = {
+            entity_id: world.kb.entity(entity_id).title
+            for record in matches
+            for entity_id in (
+                *record.candidate_ids,
+                record.predicted_entity_id,
+                record.gold_entity_id,
+            )
+            if entity_id is not None
+            and 0 <= int(entity_id) < world.kb.num_entities
+        }
+    if not matches:
+        print("no matching decision records", file=sys.stderr)
+        return 1
+    for record in matches:
+        print(provenance.format_record(record, titles=titles))
+        print()
+    print(f"{len(matches)}/{len(records)} record(s) matched", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
@@ -878,6 +974,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="query per-mention decision provenance records",
+        parents=[telemetry],
+    )
+    explain_parser.add_argument(
+        "records",
+        help="decision-record JSONL path (written by --provenance-out)",
+    )
+    explain_parser.add_argument(
+        "--sentence", type=int, default=None, metavar="ID",
+        help="only records for this sentence id",
+    )
+    explain_parser.add_argument(
+        "--mention", type=int, default=None, metavar="I",
+        help="only records for this mention index within the sentence",
+    )
+    explain_parser.add_argument(
+        "--entity", "--qid", type=int, default=None, metavar="ID",
+        dest="entity",
+        help="only records whose prediction, gold, or candidate set "
+             "includes this entity id",
+    )
+    explain_parser.add_argument(
+        "--slice", default=None, metavar="NAME",
+        help="only records in this slice (tail, unseen, kg-relation, ...)",
+    )
+    explain_parser.add_argument(
+        "--tier", default=None, choices=("tier0", "model"),
+        help="only records decided at this cascade tier",
+    )
+    explain_parser.add_argument(
+        "--reason", default=None, metavar="REASON",
+        help="only records with this decision reason "
+             "(e.g. margin-too-small, type-veto)",
+    )
+    explain_parser.add_argument(
+        "--surface", default=None, metavar="TEXT",
+        help="only records whose surface form contains TEXT "
+             "(case-insensitive)",
+    )
+    explain_parser.add_argument(
+        "--world", default=None, metavar="PATH",
+        help="world file for resolving entity ids to titles in the "
+             "text rendering",
+    )
+    explain_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N matching records",
+    )
+    explain_parser.add_argument(
+        "--json", action="store_true",
+        help="emit matching records as a JSON array instead of text",
+    )
+    explain_parser.set_defaults(func=cmd_explain)
 
     report_parser = sub.add_parser(
         "report", help="inspect, render, and diff run reports"

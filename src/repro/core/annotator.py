@@ -21,14 +21,17 @@ import numpy as np
 
 import repro.obs as obs
 from repro.cascade import (
+    REASON_TYPE_VETO,
     TIER_HEURISTIC,
     TIER_MODEL,
     CascadePolicy,
     Tier0Decision,
     Tier0Linker,
+    reason_counts,
     record_cascade_metrics,
 )
 from repro.core.trainer import predict_batches
+from repro.obs import provenance
 from repro.corpus.dataset import CollateBuffers, NedDataset
 from repro.corpus.document import Corpus, Mention, Page, Sentence
 from repro.corpus.tokenizer import tokenize
@@ -152,6 +155,7 @@ class BootlegAnnotator:
         self,
         texts: Sequence[str],
         mention_spans: Sequence[list[tuple[int, int]] | None] | None = None,
+        provenance_base: int = 0,
     ) -> list[list[AnnotatedMention]]:
         """Disambiguate many documents in shared model batches.
 
@@ -160,6 +164,11 @@ class BootlegAnnotator:
         input text, in order — equal, mention for mention, to calling
         :meth:`annotate` per text, but with one dataset build and packed
         batches instead of a model call per document.
+
+        ``provenance_base`` offsets the document index used as the
+        provenance ``sentence_id`` key, so a pool dispatching chunks of
+        one logical call records globally unique keys (the pool passes
+        each chunk's offset).
         """
         if mention_spans is not None and len(mention_spans) != len(texts):
             raise ConfigError(
@@ -171,12 +180,13 @@ class BootlegAnnotator:
             # entirely so empty probes don't pollute serving telemetry.
             return []
         with obs.span("annotator.annotate_batch", documents=len(texts)):
-            return self._annotate_batch(texts, mention_spans)
+            return self._annotate_batch(texts, mention_spans, provenance_base)
 
     def _annotate_batch(
         self,
         texts: Sequence[str],
         mention_spans: Sequence[list[tuple[int, int]] | None] | None,
+        provenance_base: int = 0,
     ) -> list[list[AnnotatedMention]]:
         tokens_per_doc: list[list[str]] = []
         spans_per_doc: list[list[tuple[int, int]]] = []
@@ -214,10 +224,15 @@ class BootlegAnnotator:
                 mentions_per_doc,
                 spans_per_doc,
                 results,
+                provenance_base,
             )
         else:
             covered = self._annotate_cascade(
-                tokens_per_doc, mentions_per_doc, spans_per_doc, results
+                tokens_per_doc,
+                mentions_per_doc,
+                spans_per_doc,
+                results,
+                provenance_base,
             )
         if observing:
             # Candidate coverage: fraction of detected mentions for which
@@ -274,10 +289,14 @@ class BootlegAnnotator:
         )
         if len(dataset) == 0:
             return []
-        return predict_batches(
-            self.model,
-            dataset.batches(self.batch_size, buffers=self._collate_buffers),
-        )
+        # The inner capture would key records by these positional
+        # sentence ids; the annotator re-captures under document-keyed
+        # ids instead (see _capture_annotation).
+        with provenance.suppress():
+            return predict_batches(
+                self.model,
+                dataset.batches(self.batch_size, buffers=self._collate_buffers),
+            )
 
     def _mention_from_record(self, record, span: tuple[int, int]) -> AnnotatedMention:
         order = np.argsort(-record.candidate_scores)
@@ -327,18 +346,28 @@ class BootlegAnnotator:
         mentions_per_doc: Sequence[list[Mention]],
         spans_per_doc: Sequence[list[tuple[int, int]]],
         results: list[list[AnnotatedMention]],
+        provenance_base: int = 0,
     ) -> int:
         """Full-model path over every document; returns covered count."""
+        started = time.perf_counter()
         records = self._model_records(
             doc_indices, tokens_per_doc, mentions_per_doc
         )
+        per_mention = (time.perf_counter() - started) / max(1, len(records))
         covered = sum(
             1 for r in records if int((r.candidate_ids >= 0).sum()) > 0
         )
         for record in records:
+            doc = doc_indices[record.sentence_id]
+            self._capture_annotation(
+                provenance_base + doc,
+                record.mention_index,
+                record=record,
+                decision=None,
+                seconds=per_mention,
+            )
             if record.predicted_entity_id < 0:
                 continue
-            doc = doc_indices[record.sentence_id]
             span = spans_per_doc[doc][record.mention_index]
             results[doc].append(self._mention_from_record(record, span))
         return covered
@@ -349,6 +378,7 @@ class BootlegAnnotator:
         mentions_per_doc: Sequence[list[Mention]],
         spans_per_doc: Sequence[list[tuple[int, int]]],
         results: list[list[AnnotatedMention]],
+        provenance_base: int = 0,
     ) -> int:
         """Tier-0 pass + escalated-documents model pass.
 
@@ -369,11 +399,14 @@ class BootlegAnnotator:
             for decision in decisions
             if not decision.answered
         )
+        tier0_elapsed = time.perf_counter() - started
         record_cascade_metrics(
             num_mentions - num_escalated,
             num_escalated,
-            time.perf_counter() - started,
+            tier0_elapsed,
+            reasons=reason_counts(decisions_per_doc),
         )
+        tier0_seconds = tier0_elapsed / max(1, num_mentions)
         escalated_docs = [
             doc
             for doc, decisions in enumerate(decisions_per_doc)
@@ -381,6 +414,7 @@ class BootlegAnnotator:
         ]
         position_of = {doc: pos for pos, doc in enumerate(escalated_docs)}
         records_by_key = {}
+        model_started = time.perf_counter()
         if escalated_docs:
             for record in self._model_records(
                 escalated_docs, tokens_per_doc, mentions_per_doc
@@ -388,11 +422,22 @@ class BootlegAnnotator:
                 records_by_key[(record.sentence_id, record.mention_index)] = (
                     record
                 )
+        model_seconds = (time.perf_counter() - model_started) / max(
+            1, len(records_by_key)
+        )
         covered = 0
         for doc, decisions in enumerate(decisions_per_doc):
             for index, decision in enumerate(decisions):
                 span = spans_per_doc[doc][index]
                 if decision.answered:
+                    self._capture_annotation(
+                        provenance_base + doc,
+                        index,
+                        record=None,
+                        decision=decision,
+                        seconds=tier0_seconds,
+                        surface=mentions_per_doc[doc][index].surface,
+                    )
                     if decision.entity_id >= 0:
                         covered += 1
                         results[doc].append(
@@ -406,6 +451,13 @@ class BootlegAnnotator:
                 record = records_by_key.get((position_of[doc], index))
                 if record is None:
                     continue
+                self._capture_annotation(
+                    provenance_base + doc,
+                    index,
+                    record=record,
+                    decision=decision,
+                    seconds=model_seconds,
+                )
                 if int((record.candidate_ids >= 0).sum()) > 0:
                     covered += 1
                 if record.predicted_entity_id >= 0:
@@ -413,3 +465,69 @@ class BootlegAnnotator:
                         self._mention_from_record(record, span)
                     )
         return covered
+
+    def _capture_annotation(
+        self,
+        sentence_id: int,
+        mention_index: int,
+        record,
+        decision: Tier0Decision | None,
+        seconds: float,
+        surface: str | None = None,
+    ) -> None:
+        """Provenance for one annotated mention (document-keyed).
+
+        ``record`` carries the model half (candidate ids + model
+        scores), ``decision`` the tier-0 half (priors, reason, veto);
+        either may be None depending on which tier(s) saw the mention.
+        """
+        if obs.enabled and provenance.active:
+            surface = surface if surface is not None else record.surface
+            fields: dict = {
+                "surface": surface,
+                "alias": normalize_alias(surface),
+                "seconds": seconds,
+            }
+            if decision is not None:
+                fields["reason"] = decision.reason
+                fields["type_veto"] = decision.reason == REASON_TYPE_VETO
+            if record is not None:
+                row_ids = [
+                    int(cid) for cid in record.candidate_ids if int(cid) >= 0
+                ]
+                row_scores = [
+                    float(s) for s in record.candidate_scores[: len(row_ids)]
+                ]
+                ranked = sorted(row_scores, reverse=True)
+                fields.update(
+                    tier=TIER_MODEL,
+                    candidate_ids=row_ids,
+                    model_scores=row_scores,
+                    predicted_entity_id=int(record.predicted_entity_id),
+                    margin=(
+                        ranked[0] - ranked[1] if len(ranked) > 1 else 0.0
+                    ),
+                    confidence=ranked[0] if ranked else 0.0,
+                )
+                if decision is not None:
+                    prior_by_id = {
+                        int(cid): float(score)
+                        for cid, score in zip(
+                            decision.candidate_ids, decision.candidate_scores
+                        )
+                    }
+                    fields["prior_scores"] = [
+                        prior_by_id.get(cid, 0.0) for cid in row_ids
+                    ]
+            else:
+                fields.update(
+                    tier=TIER_HEURISTIC,
+                    candidate_ids=[int(c) for c in decision.candidate_ids],
+                    prior_scores=[
+                        float(s) for s in decision.candidate_scores
+                    ],
+                    predicted_entity_id=int(decision.entity_id),
+                    margin=float(decision.margin),
+                    confidence=float(decision.confidence),
+                )
+            provenance.record_decision(sentence_id, mention_index, **fields)

@@ -26,6 +26,13 @@ SIGUSR2/crash dump) — is exported lazily via module ``__getattr__`` so
 importing ``repro.obs`` never pulls in ``http.server`` unless the live
 plane is actually used. The CLI wires those up via ``--serve-metrics``
 / ``--sample-interval`` / ``--flight-dir``.
+
+Per-mention decision provenance lives in :mod:`repro.obs.provenance`
+(imported as a plain submodule — it is stdlib-light and safe on the hot
+import path). Capture sites guard with ``obs.enabled and
+provenance.active`` so disabled runs pay nothing; the CLI wires it up
+via ``--provenance-out`` / ``--provenance-ring`` and the ``repro
+explain`` subcommand queries the resulting JSONL audit trail.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Live telemetry endpoint: /metrics, /metrics.json, /healthz, /trace.
+"""Live endpoints: /metrics, /metrics.json, /healthz, /trace, /provenance.
 
 A long-running annotator is only operable if its telemetry is visible
 *while it runs*; the export-at-exit files in ``repro.obs`` tell you
@@ -27,6 +27,12 @@ nothing about a hung worker. :class:`TelemetryServer` is a stdlib-only
 
 ``/trace``
     The tracer's recent-span dump (:meth:`SpanTracer.to_dict`).
+
+``/provenance``
+    Per-mention decision records (:mod:`repro.obs.provenance`): the
+    owner's ring plus every registered live source's worker-shipped
+    rows (see :func:`register_provenance_source`), so a mid-run pool
+    can be asked *why* a mention resolved the way it did.
 
 Scrapes see *live* pool workers through :func:`register_live_source`:
 the pool registers a source yielding its latest periodic per-worker
@@ -170,6 +176,63 @@ def collect_registry() -> MetricsRegistry:
 
 
 # ----------------------------------------------------------------------
+# Provenance sources: worker-shipped decision records for /provenance
+# ----------------------------------------------------------------------
+_provenance_sources: dict[int, object] = {}
+
+
+def register_provenance_source(source) -> int:
+    """Register ``source() -> iterable[dict]`` of live decision records.
+
+    The pool registers one yielding its workers' latest shipped
+    provenance rings; ``/provenance`` serves them alongside the owner
+    process's own ring. Returns a token for
+    :func:`unregister_provenance_source`.
+    """
+    global _live_token
+    with _live_lock:
+        _live_token += 1
+        _provenance_sources[_live_token] = source
+        return _live_token
+
+
+def unregister_provenance_source(token: int) -> None:
+    with _live_lock:
+        _provenance_sources.pop(token, None)
+
+
+def collect_provenance() -> dict:
+    """Owner ring + all live provenance sources, de-duplicated by key.
+
+    Worker-shipped rows supersede owner rows for the same
+    ``(sentence_id, mention_index)`` only when the owner has none —
+    like the scrape-time metric merge, nothing is folded into the owner
+    ring here, so repeated requests stay consistent.
+    """
+    from repro.obs import provenance
+
+    rows: dict[tuple, dict] = {
+        (r["sentence_id"], r["mention_index"]): r
+        for r in provenance.snapshot_records()
+    }
+    with _live_lock:
+        sources = list(_provenance_sources.values())
+    for source in sources:
+        try:
+            shipped = list(source())
+        except Exception:  # pragma: no cover - a dying component must
+            continue       # not break the request
+        for row in shipped:
+            rows.setdefault((row["sentence_id"], row["mention_index"]), row)
+    ordered = [rows[key] for key in sorted(rows)]
+    return {
+        "active": provenance.active,
+        "num_records": len(ordered),
+        "records": ordered,
+    }
+
+
+# ----------------------------------------------------------------------
 # Health registry
 # ----------------------------------------------------------------------
 class HealthRegistry:
@@ -275,6 +338,9 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif path == "/trace":
                 body = json.dumps(obs.tracer.to_dict(), indent=2)
+                self._send(200, "application/json", body)
+            elif path == "/provenance":
+                body = json.dumps(collect_provenance(), indent=2)
                 self._send(200, "application/json", body)
             else:
                 self._send(404, "text/plain", "not found\n")

@@ -119,6 +119,13 @@ class FlightRecorder:
         bundle["pid"] = os.getpid()
         bundle["created_unix"] = time.time()
         bundle["metrics"] = obs.metrics.to_dict()
+        from repro.obs import provenance
+
+        if provenance.active:
+            # The decision-record ring rides in the crash bundle: a
+            # post-mortem can see not just *that* the run wedged but
+            # which mentions it was deciding and why.
+            bundle["provenance"] = provenance.snapshot_records()
         self._dump_seq += 1
         stamp = time.strftime("%Y%m%d-%H%M%S")
         path = (

@@ -70,6 +70,10 @@ class SliceScore:
     # Cascade tier attribution: record count per tier label ("model",
     # "tier0"). Empty for reports written before the cascade existed.
     tiers: dict[str, int] = dataclasses.field(default_factory=dict)
+    # Provenance drill-down: full DecisionRecord dicts for the slice's
+    # worst bootstrap-scored failures (most confidently wrong first).
+    # Empty unless the run captured provenance (--provenance-out).
+    examples: list[dict] = dataclasses.field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +83,7 @@ class SliceScore:
             "num_mentions": self.num_mentions,
             "outcomes": [list(row) for row in self.outcomes],
             "tiers": dict(self.tiers),
+            "examples": [dict(example) for example in self.examples],
         }
 
     @classmethod
@@ -94,6 +99,7 @@ class SliceScore:
                 str(key): int(value)
                 for key, value in payload.get("tiers", {}).items()
             },
+            examples=[dict(ex) for ex in payload.get("examples", [])],
         )
 
 
@@ -148,6 +154,39 @@ def score_slices(
             tiers=tiers,
         )
     return scores
+
+
+def attach_slice_examples(
+    scores: dict[str, SliceScore], max_examples: int = 3
+) -> None:
+    """Link each slice's worst failures to their full decision records.
+
+    For every slice, the failed outcomes (``correct == 0``) are joined
+    to the provenance ring by ``(sentence_id, mention_index)`` and the
+    ``max_examples`` *most confidently wrong* records (highest decision
+    confidence) are attached as :attr:`SliceScore.examples` — the HTML
+    dashboard renders them as a per-slice drill-down. No-op unless
+    provenance capture is active.
+    """
+    from repro.obs import provenance
+
+    if not provenance.active:
+        return
+    by_key = {
+        record.key: record for record in provenance.recorder().records()
+    }
+    for score in scores.values():
+        failures = [
+            record
+            for sentence_id, mention_index, correct in score.outcomes
+            if not correct
+            and (record := by_key.get((sentence_id, mention_index)))
+            is not None
+        ]
+        failures.sort(key=lambda record: -record.confidence)
+        score.examples = [
+            record.to_dict() for record in failures[:max_examples]
+        ]
 
 
 def emit_slice_gauges(scores: dict[str, SliceScore], metrics=None) -> None:
@@ -241,6 +280,7 @@ class RunReport:
         )
         if scores and obs.enabled:
             emit_slice_gauges(scores)
+            attach_slice_examples(scores)
         return cls(
             name=name,
             config=dict(config or {}),
@@ -462,6 +502,11 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 .bar .pt { position: absolute; top: 0; width: 2px; height: 0.8rem;
            background: #1f4e96; }
 .small { color: #666; font-size: 0.8rem; }
+details.examples { margin: 0.4rem 0 0.8rem; }
+details.examples summary { cursor: pointer; font-size: 0.9rem;
+                           color: #1f4e96; }
+details.examples table { margin: 0.4rem 0 0 1rem; width: auto; }
+.reason { color: #96451f; }
 """
 
 
@@ -494,6 +539,62 @@ def _slice_rows(report: RunReport) -> str:
             "</tr>"
         )
     return "\n".join(rows)
+
+
+def _example_sections(report: RunReport) -> str:
+    """Per-slice drill-down: each slice's worst failures, full records."""
+    parts = []
+    for score in report.ordered_slices():
+        if not score.examples:
+            continue
+        rows = []
+        for example in score.examples:
+            candidates = " ".join(
+                "{}:{}{}".format(
+                    cid,
+                    (
+                        f"{example['model_scores'][i]:.3f}"
+                        if i < len(example.get("model_scores", []))
+                        else "-"
+                    ),
+                    (
+                        f"/p{example['prior_scores'][i]:.3f}"
+                        if i < len(example.get("prior_scores", []))
+                        else ""
+                    ),
+                )
+                for i, cid in enumerate(example.get("candidate_ids", []))
+            )
+            rows.append(
+                "<tr>"
+                f'<td class="num">{example.get("sentence_id", "-")}'
+                f"/{example.get('mention_index', '-')}</td>"
+                f"<td>{html.escape(str(example.get('surface', '')))}</td>"
+                f"<td>{html.escape(str(example.get('tier', '')))}</td>"
+                f'<td class="reason">'
+                f"{html.escape(str(example.get('reason', '') or '-'))}</td>"
+                f'<td class="num">{example.get("predicted_entity_id", -1)}'
+                f" &ne; {example.get('gold_entity_id', '-')}</td>"
+                f'<td class="num">{example.get("confidence", 0.0):.3f}</td>'
+                f'<td class="num">{example.get("worker", -1)}</td>'
+                f'<td class="small">{html.escape(candidates)}</td>'
+                "</tr>"
+            )
+        parts.append(
+            f'<details class="examples"><summary>{html.escape(score.name)}'
+            f" &mdash; {len(score.examples)} worst failure(s)</summary>\n"
+            "<table><tr><th>sent/mention</th><th>surface</th><th>tier</th>"
+            "<th>reason</th><th>pred &ne; gold</th><th>conf</th>"
+            "<th>worker</th><th>candidates (id:model/prior)</th></tr>\n"
+            + "\n".join(rows)
+            + "</table></details>"
+        )
+    if not parts:
+        return ""
+    return (
+        "<h2>Failure drill-down (decision provenance)</h2>\n"
+        + "\n".join(parts)
+    )
 
 
 def _metric_sections(report: RunReport) -> str:
@@ -571,6 +672,7 @@ def render_html(report: RunReport) -> str:
         f"<h1>Run report: {html.escape(report.name)}</h1>\n"
         f'<table class="manifest">{manifest}</table>\n'
         f"{slice_section}\n"
+        f"{_example_sections(report)}\n"
         f"{_metric_sections(report)}\n"
         '<p class="small">Self-contained export; regenerate with '
         "<code>repro evaluate --report-html</code>.</p>\n"

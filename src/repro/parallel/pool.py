@@ -45,6 +45,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.errors import ParallelError
+from repro.obs import provenance
 from repro.obs.aggregate import (
     SNAPSHOT_VERSION,
     merge_telemetry,
@@ -133,6 +134,11 @@ class WorkerSpec:
     # full snapshot (metrics + trace, marked ``final``) at shutdown.
     observe: bool = False
     telemetry_interval: float = _DEFAULT_TELEMETRY_INTERVAL
+    # Captured from provenance.active when the pool starts: workers run
+    # a process-local provenance ring and ship its records inside the
+    # same telemetry snapshots (periodic + final); the owner merges
+    # them under worker={rank} exactly like the metric series.
+    provenance: bool = False
 
 
 ModelFactory = Callable[[WorkerSpec], object]
@@ -318,10 +324,12 @@ class _WorkerRuntime:
     def run(self, kind: str, payload):
         with self._no_grad(), self._compute_dtype(self._dtype):
             if kind == "annotate":
-                texts, spans = payload
+                texts, spans, base = payload
                 if self.annotator is None:
                     raise ParallelError("pool was built without an annotator")
-                return self.annotator.annotate_batch(texts, spans)
+                return self.annotator.annotate_batch(
+                    texts, spans, provenance_base=base
+                )
             if kind == "predict":
                 from repro.core.trainer import predict_batches as serial_predict
 
@@ -338,6 +346,7 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
     # double-counted by) the worker's own stream.
     obs.disable()
     obs.reset()
+    provenance.reset()
     try:
         runtime = _WorkerRuntime(spec)
     except BaseException:
@@ -349,6 +358,10 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
         # noise is excluded); the owner merges the snapshot at shutdown.
         obs.reset()
         obs.enable()
+        if spec.provenance:
+            # Ring only, no spill: records ship to the owner, which
+            # owns the spill file.
+            provenance.enable()
     results.put(("ready", worker_id, -1, None, 0.0))
     # Periodic shipping state. Snapshots are cumulative, so losing one
     # is harmless (the next covers it) and the owner replaces rather
@@ -371,6 +384,8 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
                 "version": SNAPSHOT_VERSION,
                 "metrics": obs.metrics.snapshot(),
             }
+            if spec.provenance:
+                payload["provenance"] = provenance.snapshot_records()
             results.put(("telemetry", worker_id, -1, payload, 0.0))
             last_ship = now
             dirty = False
@@ -416,6 +431,8 @@ def _worker_main(worker_id: int, spec: WorkerSpec, tasks, results) -> None:
         obs.disable()
         snapshot = telemetry_snapshot()
         snapshot["final"] = True
+        if spec.provenance:
+            snapshot["provenance"] = provenance.snapshot_records()
         results.put(("telemetry", worker_id, -1, snapshot, 0.0))
 
 
@@ -479,6 +496,7 @@ class AnnotatorPool:
         self._live_lock = threading.Lock()
         self._live_token: int | None = None
         self._pids_token: int | None = None
+        self._provenance_token: int | None = None
         self._health_registry = None
         self.serial = True
         if self.workers > 1 and shared_memory_available():
@@ -550,6 +568,7 @@ class AnnotatorPool:
         spec = _spec_from_model(model, self._store.manifest, self._compute)
         spec.observe = obs.enabled
         spec.telemetry_interval = self.telemetry_interval
+        spec.provenance = obs.enabled and provenance.active
         annotator = self._annotator
         if annotator is not None:
             spec.candidate_map = annotator.candidate_map
@@ -776,6 +795,10 @@ class AnnotatorPool:
 
         self._live_token = exporter.register_live_source(self.live_telemetry)
         self._pids_token = sampler.register_pids_provider(self.worker_pids)
+        if self._spec.provenance:
+            self._provenance_token = exporter.register_provenance_source(
+                self.live_provenance
+            )
         exporter.health.register("pool", self.health)
         self._health_registry = exporter.health
         self._health_registry.beat("pool")
@@ -791,6 +814,9 @@ class AnnotatorPool:
         if self._pids_token is not None:
             sampler.unregister_pids_provider(self._pids_token)
             self._pids_token = None
+        if self._provenance_token is not None:
+            exporter.unregister_provenance_source(self._provenance_token)
+            self._provenance_token = None
         self._health_registry.unregister("pool", self.health)
         self._health_registry = None
 
@@ -817,6 +843,25 @@ class AnnotatorPool:
             ({"worker": worker_id}, payload.get("metrics", {}))
             for worker_id, payload in items
         ]
+
+    def live_provenance(self) -> list[dict]:
+        """Worker-shipped decision records for mid-run ``/provenance``.
+
+        Like :meth:`live_telemetry`, these come from the latest
+        cumulative periodic snapshots and are never folded into the
+        owner ring until the final merge at :meth:`close`; missing
+        worker ranks are stamped from the shipping worker.
+        """
+        with self._live_lock:
+            items = sorted(self._live.items())
+        rows: list[dict] = []
+        for worker_id, payload in items:
+            for record in payload.get("provenance", ()):
+                row = dict(record)
+                if row.get("worker", -1) < 0:
+                    row["worker"] = worker_id
+                rows.append(row)
+        return rows
 
     def worker_pids(self) -> list[int]:
         """Pids of currently live workers (for the resource sampler)."""
@@ -868,7 +913,14 @@ class AnnotatorPool:
                 _Task(
                     task_id=len(tasks),
                     kind="annotate",
-                    payload=(list(texts[offset : offset + chunk]), spans),
+                    # The chunk's global offset rides along as the
+                    # provenance key base, so worker-side records key by
+                    # the document's index in *this* call, not the chunk.
+                    payload=(
+                        list(texts[offset : offset + chunk]),
+                        spans,
+                        offset,
+                    ),
                 )
             )
         with obs.span("parallel.annotate_batch", documents=len(texts), chunks=len(tasks)):
@@ -1041,6 +1093,14 @@ class AnnotatorPool:
         if obs.enabled:
             for worker_id in sorted(snapshots):
                 merge_telemetry(snapshots[worker_id], worker=worker_id)
+                # Fill-only: worker records land under worker={rank}
+                # without clobbering owner-side enrichment. Crashed
+                # workers contribute their last periodic snapshot, so
+                # their shipped records survive like their metrics do.
+                provenance.merge_records(
+                    snapshots[worker_id].get("provenance", ()),
+                    worker=worker_id,
+                )
 
     def __enter__(self) -> "AnnotatorPool":
         return self

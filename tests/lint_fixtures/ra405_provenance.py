@@ -1,0 +1,23 @@
+"""Lint fixture: RA405 provenance-confinement."""
+
+import repro.obs as obs
+from repro.obs import provenance
+from repro.obs.provenance import DecisionRecord
+
+
+def rogue_construction(sentence_id):
+    return DecisionRecord(sentence_id=sentence_id, mention_index=0)
+
+
+def unguarded_capture(sentence_id):
+    provenance.record_decision(sentence_id, 0, surface="x")
+
+
+def unguarded_alias_capture(sentence_id):
+    provenance.record_prediction(sentence_id, 0, tier="model")
+
+
+def guarded_capture(sentence_id):
+    capturing = obs.enabled and provenance.active
+    if capturing:
+        provenance.record_decision(sentence_id, 0, surface="x")

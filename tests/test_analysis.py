@@ -67,6 +67,7 @@ def _probe(module):
         ("ra402_dynamic_metric_name.py", "RA402", 1),
         ("ra403_unsafe_labels.py", "RA403", 3),
         ("ra404_metric_naming.py", "RA404", 3),
+        ("ra405_provenance.py", "RA405", 3),
         ("ra501_cache_invalidation.py", "RA501", 3),
         ("ra601_raw_multiprocessing.py", "RA601", 2),
         ("ra602_raw_memmap.py", "RA602", 2),

@@ -780,6 +780,97 @@ class TestDisabledOverhead:
             f"disabled-path gather overhead {ratio:.3f}x exceeds the 5% budget"
         )
 
+    def test_annotate_provenance_overhead_under_5_percent(self):
+        """annotate_batch with obs disabled vs. a provenance-free body.
+
+        The baseline swaps the annotator/trainer module references for a
+        null provenance namespace (inactive flag, no-op suppress), so the
+        measured delta is exactly the cost of the capture guards. The
+        raising stubs double as proof that the disabled path never does
+        capture work at all.
+        """
+        import contextlib
+
+        from repro.core import annotator as annotator_mod
+        from repro.core import trainer as trainer_mod
+        from repro.nn import compute_dtype
+        from repro.obs import provenance
+
+        bench = _load_bench_module()
+        perf = bench.build_perf_setup(num_entities=150, num_pages=30)
+        annotator = bench.make_annotator(perf, perf["model32"])
+        texts = perf["texts"][:8]
+
+        class _NullProvenance:
+            active = False
+            suppress = staticmethod(contextlib.nullcontext)
+
+        def _raise(*args, **kwargs):
+            raise AssertionError("provenance capture ran while disabled")
+
+        def time_annotate(repeats=5):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                annotator.annotate_batch(texts)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        assert obs.enabled is False
+        assert provenance.active is False
+        real_decision = provenance.record_decision
+        real_prediction = provenance.record_prediction
+        provenance.record_decision = _raise
+        provenance.record_prediction = _raise
+        try:
+            with compute_dtype(np.float32):
+                annotator.annotate_batch(texts)  # warm caches on both paths
+                for attempt in range(3):
+                    guarded = time_annotate()
+                    annotator_mod.provenance = _NullProvenance
+                    trainer_mod.provenance = _NullProvenance
+                    try:
+                        bare = time_annotate()
+                    finally:
+                        annotator_mod.provenance = provenance
+                        trainer_mod.provenance = provenance
+                    ratio = guarded / bare
+                    if ratio < 1.05:
+                        break
+        finally:
+            provenance.record_decision = real_decision
+            provenance.record_prediction = real_prediction
+        assert ratio < 1.05, (
+            f"disabled provenance overhead {ratio:.3f}x exceeds the 5% budget"
+        )
+
+    def test_enabled_provenance_ring_respects_capacity(self):
+        """With capture on, the ring is bounded; overflow goes to the
+        spill buffer (unique keys, nothing silently dropped)."""
+        from repro.nn import compute_dtype
+        from repro.obs import provenance
+
+        bench = _load_bench_module()
+        perf = bench.build_perf_setup(num_entities=150, num_pages=30)
+        annotator = bench.make_annotator(perf, perf["model32"])
+        with obs.scope(fresh=True):
+            recorder = provenance.enable(capacity=4)
+            try:
+                with compute_dtype(np.float32):
+                    annotator.annotate_batch(perf["texts"])
+                assert len(recorder) <= 4
+                ring = recorder.snapshot()
+                spilled = list(recorder._spill_buffer)
+                assert len(ring) == 4, "ring should be full on this workload"
+                assert spilled, "overflow must spill, not vanish"
+                keys = {
+                    (row["sentence_id"], row["mention_index"])
+                    for row in ring + spilled
+                }
+                assert len(keys) == len(ring) + len(spilled)
+            finally:
+                provenance.reset()
+
     def test_live_plane_stays_off_the_import_path(self):
         """``import repro.obs`` must not pull in the live-plane modules.
 
